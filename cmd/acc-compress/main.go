@@ -1,0 +1,153 @@
+// Command acc-compress applies the DCT+Chop compressor to raw float32
+// tensor files, round-tripping on the host or on any of the simulated
+// accelerators.
+//
+// Input format: raw little-endian float32 values of a [BD, C, n, n]
+// batch (the dimensions are given by flags).
+//
+// Usage:
+//
+//	acc-compress -mode compress   -in batch.f32 -out batch.dctc -bd 10 -c 3 -n 64 -cf 4
+//	acc-compress -mode decompress -in batch.dctc -out restored.f32
+//	acc-compress -mode roundtrip  -in batch.f32 -bd 10 -c 3 -n 64 -cf 4 -device CS-2
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/accel/platforms"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "roundtrip", "compress | decompress | roundtrip")
+		in     = flag.String("in", "", "input file")
+		out    = flag.String("out", "", "output file (optional for roundtrip)")
+		bd     = flag.Int("bd", 1, "batch size")
+		ch     = flag.Int("c", 1, "channels")
+		n      = flag.Int("n", 0, "resolution (images are n x n)")
+		cf     = flag.Int("cf", 4, "chop factor (1-8)")
+		sg     = flag.Bool("sg", false, "use the scatter/gather triangle variant")
+		serial = flag.Int("s", 1, "partial-serialization factor")
+		trans  = flag.String("transform", "dct8", "block transform: dct8 | zfp4")
+		device = flag.String("device", "", "simulate on a device (CS-2, SN30, GroqChip, IPU, A100)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "compress":
+		x := readTensor(*in, *bd, *ch, *n)
+		comp := newCompressor(*cf, *sg, *serial, *n, *trans)
+		y, err := comp.Compress(x)
+		check(err)
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		_, err = y.WriteTo(f)
+		check(err)
+		fmt.Printf("compressed %d bytes -> %d bytes (ratio %.2f)\n",
+			y.OriginalBytes(), y.CompressedBytes(), y.EffectiveRatio())
+
+	case "decompress":
+		f, err := os.Open(*in)
+		check(err)
+		y, err := core.ReadCompressed(f)
+		f.Close()
+		check(err)
+		comp, err := core.NewCompressor(y.Config, y.N)
+		check(err)
+		x, err := comp.Decompress(y)
+		check(err)
+		writeTensor(*out, x)
+		fmt.Printf("decompressed to %v (%d bytes)\n", x.Shape(), x.SizeBytes())
+
+	case "roundtrip":
+		x := readTensor(*in, *bd, *ch, *n)
+		comp := newCompressor(*cf, *sg, *serial, *n, *trans)
+		if *device != "" {
+			dev := platforms.ByName(*device)
+			if dev == nil {
+				check(fmt.Errorf("unknown device %q", *device))
+			}
+			cg, err := comp.BuildCompressGraph(*bd, *ch)
+			check(err)
+			prog, err := dev.Compile(cg)
+			check(err)
+			_, stats, err := prog.Run(map[string]*tensor.Tensor{"A": x})
+			check(err)
+			fmt.Printf("%s: simulated compression %v (%.2f GB/s)\n",
+				dev.Name(), stats.SimTime, stats.ThroughputGBs(x.SizeBytes()))
+		}
+		back, err := comp.RoundTrip(x)
+		check(err)
+		fmt.Printf("config: %s\n", comp.Config())
+		fmt.Printf("PSNR: %.2f dB  MSE: %.6g  max error: %.6g\n",
+			metrics.PSNR(x, back), metrics.MSE(x, back), metrics.MaxError(x, back))
+		if *out != "" {
+			writeTensor(*out, back)
+		}
+
+	default:
+		check(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func newCompressor(cf int, sg bool, serial, n int, transform string) *core.Compressor {
+	cfg := core.Config{ChopFactor: cf, Serialization: serial}
+	if sg {
+		cfg.Mode = core.ModeSG
+	}
+	switch transform {
+	case "dct8", "":
+	case "zfp4":
+		cfg.Transform = core.TransformZFP4
+	default:
+		check(fmt.Errorf("unknown transform %q (want dct8 or zfp4)", transform))
+	}
+	comp, err := core.NewCompressor(cfg, n)
+	check(err)
+	return comp
+}
+
+func readTensor(path string, bd, ch, n int) *tensor.Tensor {
+	raw, err := os.ReadFile(path)
+	check(err)
+	want := bd * ch * n * n * 4
+	if len(raw) != want {
+		check(fmt.Errorf("%s: %d bytes, want %d for [%d,%d,%d,%d] float32", path, len(raw), want, bd, ch, n, n))
+	}
+	data := make([]float32, want/4)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return tensor.FromSlice(data, bd, ch, n, n)
+}
+
+func writeTensor(path string, t *tensor.Tensor) {
+	if path == "" {
+		check(fmt.Errorf("missing -out"))
+	}
+	raw := make([]byte, 4*t.Len())
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	check(os.WriteFile(path, raw, 0o644))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acc-compress:", err)
+		os.Exit(1)
+	}
+}

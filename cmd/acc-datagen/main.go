@@ -1,0 +1,114 @@
+// Command acc-datagen materializes the synthetic benchmark datasets as
+// raw little-endian float32 files (the format acc-compress consumes),
+// so the whole CLI pipeline — generate → compress → decompress →
+// inspect — runs without leaving this repository.
+//
+// Usage:
+//
+//	acc-datagen -dataset classify -count 100 -n 32 -out cifar_like.f32
+//	acc-datagen -dataset em_denoise -count 20 -n 64 -out noisy.f32 -aux clean.f32
+//	acc-datagen -dataset optical_damage -count 10 -n 64 -out healthy.f32 -damaged
+//	acc-datagen -dataset slstr_cloud -count 5 -n 64 -c 3 -out scenes.f32 -aux masks.f32
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "classify", "classify | em_denoise | optical_damage | slstr_cloud")
+		count   = flag.Int("count", 100, "number of samples")
+		n       = flag.Int("n", 32, "resolution")
+		ch      = flag.Int("c", 3, "channels (slstr_cloud only)")
+		seed    = flag.Uint64("seed", 17, "generator seed")
+		out     = flag.String("out", "", "output file (raw float32)")
+		aux     = flag.String("aux", "", "auxiliary output: clean targets / masks / labels")
+		damaged = flag.Bool("damaged", false, "optical_damage: emit damaged beams instead of healthy")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch *dataset {
+	case "classify":
+		gen := datagen.NewClassify(*seed, *n, 10)
+		x, labels := gen.Batch(*count)
+		writeTensor(*out, x)
+		if *aux != "" {
+			writeLabels(*aux, labels)
+		}
+		describe(x, "images")
+
+	case "em_denoise":
+		gen := datagen.NewDenoise(*seed, *n)
+		noisy, clean := gen.Batch(*count)
+		writeTensor(*out, noisy)
+		if *aux != "" {
+			writeTensor(*aux, clean)
+		}
+		describe(noisy, "noisy micrographs")
+
+	case "optical_damage":
+		gen := datagen.NewOptical(*seed, *n)
+		var x *tensor.Tensor
+		if *damaged {
+			x = gen.DamagedBatch(*count)
+		} else {
+			x = gen.Batch(*count)
+		}
+		writeTensor(*out, x)
+		describe(x, "beam images")
+
+	case "slstr_cloud":
+		gen := datagen.NewCloudSeg(*seed, *n, *ch)
+		scenes, masks := gen.Batch(*count)
+		writeTensor(*out, scenes)
+		if *aux != "" {
+			writeTensor(*aux, masks)
+		}
+		describe(scenes, "scenes")
+
+	default:
+		fail(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+}
+
+func describe(x *tensor.Tensor, what string) {
+	fmt.Printf("wrote %v %s (%d bytes, range [%.3g, %.3g])\n",
+		x.Shape(), what, x.SizeBytes(), x.Min(), x.Max())
+}
+
+func writeTensor(path string, t *tensor.Tensor) {
+	raw := make([]byte, 4*t.Len())
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func writeLabels(path string, labels []int) {
+	raw := make([]byte, 4*len(labels))
+	for i, l := range labels {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(l))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acc-datagen:", err)
+	os.Exit(1)
+}

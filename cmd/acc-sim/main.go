@@ -1,0 +1,106 @@
+// Command acc-sim explains the device models: for a given compressor
+// configuration and workload it prints, per device, the compile outcome
+// and the cost-model breakdown (transfer vs compute vs fill vs
+// penalties) behind the simulated time — the "why" behind every number
+// in Figs. 10–15.
+//
+// Usage:
+//
+//	acc-sim -op decompress -n 256 -bd 100 -cf 2
+//	acc-sim -op compress -n 64 -bd 2000 -cf 4        # Groq batch wall
+//	acc-sim -op decompress -n 512 -bd 100 -cf 4 -s 2 # partial serialization
+//	acc-sim -cluster 4 -device IPU -op decompress -n 256 -bd 100 -cf 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/accel/platforms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		op      = flag.String("op", "decompress", "compress | decompress")
+		n       = flag.Int("n", 256, "resolution")
+		bd      = flag.Int("bd", 100, "batch size")
+		ch      = flag.Int("c", 3, "channels")
+		cf      = flag.Int("cf", 4, "chop factor")
+		sg      = flag.Bool("sg", false, "scatter/gather variant")
+		serial  = flag.Int("s", 1, "partial-serialization factor")
+		device  = flag.String("device", "", "restrict to one device")
+		cluster = flag.Int("cluster", 1, "data-parallel device count")
+	)
+	flag.Parse()
+
+	cfg := core.Config{ChopFactor: *cf, Serialization: *serial}
+	if *sg {
+		cfg.Mode = core.ModeSG
+	}
+	comp, err := core.NewCompressor(cfg, *n)
+	if err != nil {
+		fail(err)
+	}
+	build := func(shard int) (*graph.Graph, error) {
+		if *op == "compress" {
+			return comp.BuildCompressGraph(shard, *ch)
+		}
+		return comp.BuildDecompressGraph(shard, *ch)
+	}
+
+	devs := platforms.All()
+	if *device != "" {
+		d := platforms.ByName(*device)
+		if d == nil {
+			fail(fmt.Errorf("unknown device %q", *device))
+		}
+		devs = []*accel.Device{d}
+	}
+
+	payload := 4 * *bd * *ch * *n * *n
+	fmt.Printf("%s of %dx%dx%dx%d (%s), %s, payload %.1f MB\n\n",
+		*op, *bd, *ch, *n, *n, cfg, clusterLabel(*cluster), float64(payload)/1e6)
+
+	for _, d := range devs {
+		cl, err := accel.NewCluster(d, *cluster, 500*time.Microsecond)
+		if err != nil {
+			fail(err)
+		}
+		p, err := cl.CompileSharded(*bd, build)
+		if err != nil {
+			fmt.Printf("%-10s COMPILE FAIL: %v\n", d.Name(), err)
+			continue
+		}
+		st := p.Estimate()
+		runs := cfg.Serialization * cfg.Serialization
+		total := time.Duration(runs) * st.SimTime
+		b := p.Member().Estimate().Breakdown
+		mode := "sum"
+		if b.Overlap {
+			mode = "max(transfer,compute)"
+		}
+		fmt.Printf("%-10s %v total (%.2f GB/s over uncompressed payload)\n",
+			cl.Name(), total, float64(payload)/total.Seconds()/1e9)
+		fmt.Printf("           per member-run: transfer %v | compute %v | penalty %v | fill %v  [%s]\n",
+			b.Transfer, b.Compute, b.Penalty, b.Fill, mode)
+		fmt.Printf("           traffic: %.2f MB to device, %.2f MB back; %.2f GFLOP across %d kernels\n\n",
+			float64(st.HostToDeviceBytes)/1e6, float64(st.DeviceToHostBytes)/1e6, st.FLOPs/1e9, st.Kernels)
+	}
+}
+
+func clusterLabel(n int) string {
+	if n == 1 {
+		return "single device"
+	}
+	return fmt.Sprintf("%d-way data parallel", n)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acc-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Portability: compile the same compressor graphs on every simulated
+// platform and print the support/compile matrix — the paper's central
+// claim (one PyTorch-level design that runs across four accelerators)
+// and its limits (scatter/gather only on the IPU, bit ops nowhere,
+// memory walls at 512×512).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/accel/platforms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	devs := platforms.All()
+
+	fmt.Println("compile matrix: DCT+Chop decompression (100 samples, 3 channels)")
+	fmt.Printf("%-34s", "configuration")
+	for _, d := range devs {
+		fmt.Printf("%-10s", d.Name())
+	}
+	fmt.Println()
+
+	type cfgCase struct {
+		label string
+		cfg   core.Config
+		n     int
+	}
+	cases := []cfgCase{
+		{"chop CF=4, 256x256", core.Config{ChopFactor: 4, Serialization: 1}, 256},
+		{"chop CF=4, 512x512", core.Config{ChopFactor: 4, Serialization: 1}, 512},
+		{"chop CF=4, 512x512, s=2", core.Config{ChopFactor: 4, Serialization: 2}, 512},
+		{"scatter/gather CF=4, 32x32", core.Config{ChopFactor: 4, Mode: core.ModeSG, Serialization: 1}, 32},
+	}
+	for _, c := range cases {
+		fmt.Printf("%-34s", c.label)
+		for _, d := range devs {
+			fmt.Printf("%-10s", compileCell(d, c.cfg, c.n))
+		}
+		fmt.Println()
+	}
+
+	// The operator that rules out classic VLE encoders everywhere but
+	// the GPU (§3.1).
+	b := graph.NewBuilder("vle-encode-stage")
+	x := b.Input("coeffs", 100, 3, 64)
+	b.Output(b.BitShift(x, 4))
+	g, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s", "bit-shift (VLE packing stage)")
+	for _, d := range devs {
+		if _, err := d.Compile(g); err != nil {
+			fmt.Printf("%-10s", "no")
+		} else {
+			fmt.Printf("%-10s", "ok")
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("\nfailure details at 512x512 (the paper's §4.2.2 compile errors):")
+	for _, name := range []string{"SN30", "GroqChip"} {
+		d := platforms.ByName(name)
+		comp, err := core.NewCompressor(core.Config{ChopFactor: 4, Serialization: 1}, 512)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := comp.BuildDecompressGraph(100, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.Compile(g); err != nil {
+			fmt.Printf("  %s\n", err)
+		}
+	}
+}
+
+func compileCell(d *accel.Device, cfg core.Config, n int) string {
+	comp, err := core.NewCompressor(cfg, n)
+	if err != nil {
+		return "badcfg"
+	}
+	g, err := comp.BuildDecompressGraph(100, 3)
+	if err != nil {
+		return "badcfg"
+	}
+	if _, err := d.Compile(g); err != nil {
+		return "no"
+	}
+	return "ok"
+}

@@ -1,0 +1,58 @@
+// Quickstart: compress and decompress a batch of images with DCT+Chop
+// and inspect ratio and fidelity — the 30-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// A batch of 8 synthetic RGB images, 32×32 (CIFAR10-shaped).
+	gen := datagen.NewClassify(42, 32, 10)
+	batch, _ := gen.Batch(8)
+	fmt.Printf("input: %v (%d bytes)\n", batch.Shape(), batch.SizeBytes())
+
+	// "Compile" a compressor: chop factor 4 keeps the upper-left 4×4 of
+	// every 8×8 DCT block → compression ratio 64/16 = 4.
+	comp, err := core.NewCompressor(core.Config{ChopFactor: 4, Serialization: 1}, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	compressed, err := comp.Compress(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed: %d bytes (ratio %.2f)\n",
+		compressed.CompressedBytes(), compressed.EffectiveRatio())
+
+	restored, err := comp.Decompress(compressed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored: %v\n", restored.Shape())
+	fmt.Printf("fidelity: PSNR %.2f dB, MSE %.6f, max error %.4f\n",
+		metrics.PSNR(batch, restored),
+		metrics.MSE(batch, restored),
+		metrics.MaxError(batch, restored))
+
+	// The chop factor is the quality dial: sweep it.
+	fmt.Println("\nchop factor sweep:")
+	for cf := 2; cf <= 8; cf++ {
+		c, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1}, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		back, err := c.RoundTrip(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  CF=%d  CR=%5.2f  PSNR=%6.2f dB\n",
+			cf, c.Config().Ratio(), metrics.PSNR(batch, back))
+	}
+}

@@ -1,0 +1,450 @@
+package accel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/accel/cerebras"
+	"repro/internal/accel/gpu"
+	"repro/internal/accel/graphcore"
+	"repro/internal/accel/groq"
+	"repro/internal/accel/platforms"
+	"repro/internal/accel/sambanova"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// buildGraphs returns compress/decompress graphs for the standard
+// throughput workload: bd samples × 3 channels × n×n, chop factor cf.
+func buildGraphs(t *testing.T, cfg core.Config, n, bd int) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	c, err := core.NewCompressor(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := c.BuildCompressGraph(bd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := c.BuildDecompressGraph(bd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg, dg
+}
+
+func chopCfg(cf int) core.Config {
+	return core.Config{ChopFactor: cf, Serialization: 1}
+}
+
+func TestTable1Specs(t *testing.T) {
+	// The Table 1 rows the simulators must advertise.
+	want := []struct {
+		name string
+		cus  int
+		ocm  int64
+		arch accel.Arch
+	}{
+		{"CS-2", 850000, 40 << 30, accel.ArchDataflow},
+		{"SN30", 1280, 640 << 20, accel.ArchDataflow},
+		{"GroqChip", 5120, 230 << 20, accel.ArchSIMD},
+		{"IPU", 1472, 900 << 20, accel.ArchMIMD},
+	}
+	devs := platforms.Accelerators()
+	if len(devs) != 4 {
+		t.Fatalf("expected 4 accelerators, got %d", len(devs))
+	}
+	for i, w := range want {
+		s := devs[i].Specs()
+		if s.Name != w.name || s.ComputeUnits != w.cus || s.OnChipMemory != w.ocm || s.Architecture != w.arch {
+			t.Fatalf("device %d specs %+v, want %+v", i, s, w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if platforms.ByName("IPU") == nil || platforms.ByName("A100") == nil {
+		t.Fatal("ByName must find IPU and A100")
+	}
+	if platforms.ByName("TPU") != nil {
+		t.Fatal("ByName must return nil for unknown devices")
+	}
+}
+
+func TestAllDevicesCompileChopGraphs(t *testing.T) {
+	// 256×256 at batch 100 compiles everywhere (the paper's standard
+	// throughput point).
+	for _, d := range platforms.All() {
+		for _, cf := range []int{2, 4, 7} {
+			cg, dg := buildGraphs(t, chopCfg(cf), 256, 100)
+			if _, err := d.Compile(cg); err != nil {
+				t.Errorf("%s cf=%d compress: %v", d.Name(), cf, err)
+			}
+			if _, err := d.Compile(dg); err != nil {
+				t.Errorf("%s cf=%d decompress: %v", d.Name(), cf, err)
+			}
+		}
+	}
+}
+
+func TestSN30FailsAt512(t *testing.T) {
+	// §4.2.2: "compilation fails for 512×512 resolution since the PMUs
+	// cannot fit the entire output matrix along with matrices required
+	// for compression/decompression."
+	d := sambanova.New()
+	for _, cf := range []int{2, 4, 7} {
+		cg, dg := buildGraphs(t, chopCfg(cf), 512, 100)
+		if _, err := d.Compile(cg); err == nil {
+			t.Errorf("cf=%d: SN30 must fail to compile 512 compression", cf)
+		} else {
+			var ce *accel.CompileError
+			if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "memory") {
+				t.Errorf("cf=%d: want CompileError about memory, got %v", cf, err)
+			}
+		}
+		if _, err := d.Compile(dg); err == nil {
+			t.Errorf("cf=%d: SN30 must fail to compile 512 decompression", cf)
+		}
+	}
+	// ... while 256 compiles.
+	cg, _ := buildGraphs(t, chopCfg(7), 256, 100)
+	if _, err := d.Compile(cg); err != nil {
+		t.Errorf("SN30 must compile 256: %v", err)
+	}
+}
+
+func TestSN30PartialSerializationEnables512(t *testing.T) {
+	// §4.2.3 / Fig. 15: s=2 partial serialization brings 512×512 back
+	// within PMU capacity on the SN30 (and IPU).
+	d := sambanova.New()
+	for _, cf := range []int{2, 4, 7} {
+		cfg := core.Config{ChopFactor: cf, Serialization: 2}
+		cg, dg := buildGraphs(t, cfg, 512, 100)
+		if _, err := d.Compile(cg); err != nil {
+			t.Errorf("cf=%d: SN30 s=2 compression must compile: %v", cf, err)
+		}
+		if _, err := d.Compile(dg); err != nil {
+			t.Errorf("cf=%d: SN30 s=2 decompression must compile: %v", cf, err)
+		}
+	}
+}
+
+func TestGroqFailsAt512(t *testing.T) {
+	// §4.2.2: GroqChip fails 512×512 due to on-chip memory and the
+	// 320×320 matrix-multiply module limit.
+	d := groq.New()
+	cg, dg := buildGraphs(t, chopCfg(4), 512, 100)
+	for _, g := range []*graph.Graph{cg, dg} {
+		if _, err := d.Compile(g); err == nil {
+			t.Errorf("GroqChip must fail to compile %q at 512", g.Name)
+		} else if !strings.Contains(err.Error(), "320") {
+			t.Errorf("want MXM-limit error, got %v", err)
+		}
+	}
+}
+
+func TestGroqBatchWall(t *testing.T) {
+	// §4.2.2: "the GroqChip fails to compile beyond a batch size of 1000
+	// since on-chip memory is exhausted" (64×64 workload).
+	d := groq.New()
+	for _, cf := range []int{2, 4, 7} {
+		okC, okD := buildGraphs(t, chopCfg(cf), 64, 1000)
+		if _, err := d.Compile(okC); err != nil {
+			t.Errorf("cf=%d: batch 1000 compression must compile: %v", cf, err)
+		}
+		if _, err := d.Compile(okD); err != nil {
+			t.Errorf("cf=%d: batch 1000 decompression must compile: %v", cf, err)
+		}
+		failC, failD := buildGraphs(t, chopCfg(cf), 64, 2000)
+		if _, err := d.Compile(failC); err == nil {
+			t.Errorf("cf=%d: batch 2000 compression must fail", cf)
+		}
+		if _, err := d.Compile(failD); err == nil {
+			t.Errorf("cf=%d: batch 2000 decompression must fail", cf)
+		}
+	}
+}
+
+func TestCS2AndIPUCompileAt512(t *testing.T) {
+	// The CS-2 runs every configuration; the IPU "successfully ran
+	// no-serialization decompression for 512×512 images" (§4.2.3).
+	for _, d := range []*accel.Device{cerebras.New(), graphcore.New()} {
+		cg, dg := buildGraphs(t, chopCfg(4), 512, 100)
+		if _, err := d.Compile(cg); err != nil {
+			t.Errorf("%s 512 compression: %v", d.Name(), err)
+		}
+		if _, err := d.Compile(dg); err != nil {
+			t.Errorf("%s 512 decompression: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestSGOnlyCompilesOnIPUAndGPU(t *testing.T) {
+	// §3.5.2: torch.scatter/torch.gather are "not yet supported across
+	// all accelerators" — only the IPU (and the GPU reference) compile
+	// the SG graphs.
+	sgCfg := core.Config{ChopFactor: 4, Mode: core.ModeSG, Serialization: 1}
+	cg, dg := buildGraphs(t, sgCfg, 32, 100)
+	for _, d := range platforms.All() {
+		_, errC := d.Compile(cg)
+		_, errD := d.Compile(dg)
+		supported := d.Name() == "IPU" || d.Name() == "A100"
+		if supported && (errC != nil || errD != nil) {
+			t.Errorf("%s must compile SG graphs: %v / %v", d.Name(), errC, errD)
+		}
+		if !supported {
+			if errC == nil || errD == nil {
+				t.Errorf("%s must reject SG graphs", d.Name())
+			} else if !strings.Contains(errC.Error(), "unsupported operators") {
+				t.Errorf("%s: want unsupported-operator error, got %v", d.Name(), errC)
+			}
+		}
+	}
+}
+
+func TestBitwiseOpsRejectedEverywhereButGPU(t *testing.T) {
+	// §3.1: bitwise shift operators, "integral to many variable length
+	// encoding schemes", are missing from every accelerator's PyTorch
+	// support — which is the design constraint that motivates DCT+Chop.
+	b := graph.NewBuilder("vle-like")
+	x := b.Input("x", 8, 8)
+	b.Output(b.BitShift(x, 3))
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range platforms.All() {
+		_, err := d.Compile(g)
+		if d.Name() == "A100" {
+			if err != nil {
+				t.Errorf("A100 must compile bitshift: %v", err)
+			}
+		} else if err == nil {
+			t.Errorf("%s must reject bitshift", d.Name())
+		}
+	}
+}
+
+func TestRunExecutesFunctionally(t *testing.T) {
+	// Compiled programs must produce bit-identical results to the host
+	// compressor on every device.
+	cfg := chopCfg(4)
+	comp, err := core.NewCompressor(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(7)
+	x := r.Uniform(-1, 1, 2, 3, 32, 32)
+	want, err := comp.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := comp.BuildCompressGraph(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range platforms.All() {
+		p, err := d.Compile(cg)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		outs, stats, err := p.Run(map[string]*tensor.Tensor{"A": x})
+		if err != nil {
+			t.Fatalf("%s run: %v", d.Name(), err)
+		}
+		if !outs[0].Equal(want.Chunks[0]) {
+			t.Errorf("%s produced different compressed data", d.Name())
+		}
+		if stats.SimTime <= 0 {
+			t.Errorf("%s reported non-positive simulated time", d.Name())
+		}
+		if stats.HostToDeviceBytes != x.SizeBytes() {
+			t.Errorf("%s H2D bytes %d, want %d", d.Name(), stats.HostToDeviceBytes, x.SizeBytes())
+		}
+	}
+}
+
+// throughput returns the simulated uncompressed-payload throughput in
+// GB/s for a compiled graph.
+func throughput(t *testing.T, d *accel.Device, g *graph.Graph, payloadBytes int) float64 {
+	t.Helper()
+	p, err := d.Compile(g)
+	if err != nil {
+		t.Fatalf("%s: %v", d.Name(), err)
+	}
+	return p.Estimate().ThroughputGBs(payloadBytes)
+}
+
+func TestThroughputRanges(t *testing.T) {
+	// §4.2.2 headline numbers at the standard 100×3×256×256 workload.
+	payload := 100 * 3 * 256 * 256 * 4
+	type band struct{ lo, hi float64 }
+	cases := []struct {
+		dev        *accel.Device
+		compress   band
+		decompress band
+	}{
+		{cerebras.New(), band{14, 28}, band{14, 30}},   // "16 to 26 GB/s"
+		{sambanova.New(), band{5, 12}, band{5, 13}},    // "7 to 10 GB/s"
+		{groq.New(), band{0.08, 0.3}, band{0.1, 0.7}},  // "≈150/200 MB/s"
+		{graphcore.New(), band{0.8, 1.6}, band{1, 25}}, // "≈1.2 / 2–21 GB/s"
+		{gpu.New(), band{1, 4.5}, band{1.5, 4}},        // "≈2.5 GB/s"
+	}
+	for _, tc := range cases {
+		for cf := 2; cf <= 7; cf++ {
+			cg, dg := buildGraphs(t, chopCfg(cf), 256, 100)
+			ct := throughput(t, tc.dev, cg, payload)
+			dt := throughput(t, tc.dev, dg, payload)
+			if ct < tc.compress.lo || ct > tc.compress.hi {
+				t.Errorf("%s cf=%d compression %.2f GB/s outside [%g,%g]", tc.dev.Name(), cf, ct, tc.compress.lo, tc.compress.hi)
+			}
+			if dt < tc.decompress.lo || dt > tc.decompress.hi {
+				t.Errorf("%s cf=%d decompression %.2f GB/s outside [%g,%g]", tc.dev.Name(), cf, dt, tc.decompress.lo, tc.decompress.hi)
+			}
+		}
+	}
+}
+
+func TestDecompressionFasterThanCompression(t *testing.T) {
+	// §4.2.2 key takeaway: "Compression generally is slower than
+	// decompression" — less data to load, fewer FLOPs.
+	for _, d := range platforms.All() {
+		for cf := 2; cf <= 7; cf++ {
+			cg, dg := buildGraphs(t, chopCfg(cf), 256, 100)
+			pc, err := d.Compile(cg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pd, err := d.Compile(dg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pd.Estimate().SimTime > pc.Estimate().SimTime {
+				t.Errorf("%s cf=%d: decompression (%v) slower than compression (%v)", d.Name(), cf, pd.Estimate().SimTime, pc.Estimate().SimTime)
+			}
+		}
+	}
+}
+
+func TestHigherCRFasterDecompression(t *testing.T) {
+	// §4.2.2 key takeaway: "Higher compression ratios often have faster
+	// decompression" — strictly monotone on IPU and CS-2 where transfer
+	// dominates.
+	for _, d := range []*accel.Device{cerebras.New(), graphcore.New()} {
+		var prev time.Duration
+		for cf := 2; cf <= 7; cf++ { // increasing CF = decreasing CR
+			_, dg := buildGraphs(t, chopCfg(cf), 256, 100)
+			p, err := d.Compile(dg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Estimate().SimTime < prev {
+				t.Errorf("%s: decompression time not monotone in CF at cf=%d", d.Name(), cf)
+			}
+			prev = p.Estimate().SimTime
+		}
+	}
+}
+
+func TestSN30SmallTensorOverhead(t *testing.T) {
+	// §4.2.2: "the highest compression ratio, 16.0, is slower than both
+	// 4.0 and 7.11" on the SN30.
+	d := sambanova.New()
+	times := map[int]time.Duration{}
+	for _, cf := range []int{2, 3, 4} {
+		_, dg := buildGraphs(t, chopCfg(cf), 256, 100)
+		p, err := d.Compile(dg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[cf] = p.Estimate().SimTime
+	}
+	if times[2] <= times[4] || times[2] <= times[3] {
+		t.Errorf("CR 16 (cf=2, %v) must be slower than CR 4 (cf=4, %v) and CR 7.11 (cf=3, %v)", times[2], times[4], times[3])
+	}
+}
+
+func TestBatchLinearity(t *testing.T) {
+	// §4.2.2 key takeaway: execution time and batch size are linearly
+	// related once past the pipeline-fill regime.
+	for _, d := range []*accel.Device{sambanova.New(), graphcore.New()} {
+		cg1, _ := buildGraphs(t, chopCfg(4), 64, 1000)
+		cg2, _ := buildGraphs(t, chopCfg(4), 64, 2000)
+		p1, err := d.Compile(cg1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := d.Compile(cg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(p2.Estimate().SimTime) / float64(p1.Estimate().SimTime)
+		if ratio < 1.6 || ratio > 2.4 {
+			t.Errorf("%s: doubling batch scales time by %.2f, want ≈2", d.Name(), ratio)
+		}
+	}
+}
+
+func TestCS2FlatUntilPipelineFull(t *testing.T) {
+	// §4.2.2: "As batch size increases, the CS-2 performance does not
+	// change significantly, until batch size surpasses 2000."
+	d := cerebras.New()
+	timeAt := func(bd int) time.Duration {
+		cg, _ := buildGraphs(t, chopCfg(4), 64, bd)
+		p, err := d.Compile(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Estimate().SimTime
+	}
+	small := timeAt(10)
+	mid := timeAt(1000)
+	big := timeAt(5000)
+	if float64(mid) > 3*float64(small) {
+		t.Errorf("CS-2 batch 10→1000 scaled %v → %v; should be pipeline-fill dominated", small, mid)
+	}
+	if float64(big) < 2*float64(mid) {
+		t.Errorf("CS-2 batch 1000→5000 scaled %v → %v; should be stream-bound", mid, big)
+	}
+}
+
+func TestEstimateMatchesRunStats(t *testing.T) {
+	d := graphcore.New()
+	cg, _ := buildGraphs(t, chopCfg(4), 32, 2)
+	p, err := d.Compile(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(1)
+	_, stats, err := p.Run(map[string]*tensor.Tensor{"A": r.Uniform(0, 1, 2, 3, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != p.Estimate() {
+		t.Fatal("Run stats must equal Estimate (the cost model is deterministic)")
+	}
+}
+
+func TestCompileErrorMessage(t *testing.T) {
+	e := &accel.CompileError{Device: "SN30", Graph: "g", Reason: "out of memory"}
+	if !strings.Contains(e.Error(), "SN30") || !strings.Contains(e.Error(), "out of memory") {
+		t.Fatalf("CompileError message %q", e.Error())
+	}
+}
+
+func TestArchString(t *testing.T) {
+	for a, want := range map[accel.Arch]string{
+		accel.ArchDataflow: "Dataflow",
+		accel.ArchSIMD:     "SIMD",
+		accel.ArchMIMD:     "MIMD",
+		accel.ArchGPU:      "GPU",
+	} {
+		if a.String() != want {
+			t.Errorf("Arch %d = %q", int(a), a.String())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package cerebras
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func prog(t *testing.T, op string, cf, n, bd int) *accel.Program {
+	t.Helper()
+	comp, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *graph.Graph
+	if op == "compress" {
+		g, err = comp.BuildCompressGraph(bd, 3)
+	} else {
+		g, err = comp.BuildDecompressGraph(bd, 3)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New().Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSpecsMatchTable1(t *testing.T) {
+	s := New().Specs()
+	if s.Name != "CS-2" || s.ComputeUnits != 850000 || s.OnChipMemory != 40<<30 || s.PerUnitMemory != 48<<10 {
+		t.Fatalf("specs %+v", s)
+	}
+	if s.Architecture != accel.ArchDataflow {
+		t.Fatal("CS-2 is a dataflow architecture")
+	}
+}
+
+func TestThroughputInPaperBand(t *testing.T) {
+	// §4.2.2: "generally ranging from 16 to 26 GB/s".
+	payload := 100 * 3 * 256 * 256 * 4
+	for cf := 2; cf <= 7; cf++ {
+		for _, op := range []string{"compress", "decompress"} {
+			gbs := prog(t, op, cf, 256, 100).Estimate().ThroughputGBs(payload)
+			if gbs < 14 || gbs > 28 {
+				t.Errorf("%s cf=%d: %.1f GB/s outside the CS-2 band", op, cf, gbs)
+			}
+		}
+	}
+}
+
+func TestHighestThroughputOfAllPlatforms(t *testing.T) {
+	// The CS-2 "has the highest compression and decompression
+	// throughput across all of the accelerators" — sanity floor.
+	gbs := prog(t, "compress", 4, 256, 100).Estimate().ThroughputGBs(100 * 3 * 256 * 256 * 4)
+	if gbs < 15 {
+		t.Fatalf("CS-2 compression %.1f GB/s below expected floor", gbs)
+	}
+}
+
+func TestEveryEvaluatedConfigCompiles(t *testing.T) {
+	// The paper reports no CS-2 compile failures anywhere in the sweep.
+	for _, n := range []int{32, 64, 128, 256, 512} {
+		prog(t, "compress", 2, n, 100)
+		prog(t, "decompress", 7, n, 100)
+	}
+	for _, bd := range []int{10, 1000, 5000} {
+		prog(t, "compress", 4, 64, bd)
+	}
+}
+
+func TestPipelineFillDominatesSmallBatches(t *testing.T) {
+	// Fig. 12: flat until the pipeline saturates.
+	small := prog(t, "compress", 4, 64, 10).Estimate().SimTime
+	mid := prog(t, "compress", 4, 64, 500).Estimate().SimTime
+	if float64(mid) > 2.5*float64(small) {
+		t.Fatalf("batch 10→500 scaled %v→%v; fill should dominate", small, mid)
+	}
+}
+
+func TestDecompressionSpreadsWithCR(t *testing.T) {
+	// Fig. 11: "wider spread of decompression times ... with higher
+	// compression ratio having significant speedup".
+	fast := prog(t, "decompress", 2, 256, 100).Estimate().SimTime
+	slow := prog(t, "decompress", 7, 256, 100).Estimate().SimTime
+	if float64(slow) < 1.3*float64(fast) {
+		t.Fatalf("CR spread too narrow: cf2 %v vs cf7 %v", fast, slow)
+	}
+}

@@ -1,0 +1,81 @@
+package accel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Cluster models data-parallel scaling across identical devices — the
+// deployment the paper's GPU comparison points to: "the Graphcore
+// Bow-Pod64 contains 64 IPUs and the GroqNode has eight GroqCards ...
+// GroqChip and IPU rely on scalability to outperform GPU" (§4.2.2).
+//
+// Data parallelism shards the batch: each device compiles the per-shard
+// graph and runs its shard concurrently, then pays a synchronization
+// cost per run. Compression of training data is embarrassingly parallel
+// across samples (§3.2), so no gradient exchange is modelled — SyncCost
+// covers collective setup and host fan-out.
+type Cluster struct {
+	// Device is the member model (all members identical).
+	Device *Device
+	// Size is the number of devices.
+	Size int
+	// SyncCost is charged once per clustered run.
+	SyncCost time.Duration
+}
+
+// NewCluster returns a cluster of size copies of the device.
+func NewCluster(d *Device, size int, sync time.Duration) (*Cluster, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("accel: cluster size %d must be ≥ 1", size)
+	}
+	return &Cluster{Device: d, Size: size, SyncCost: sync}, nil
+}
+
+// Name describes the cluster ("8x GroqChip").
+func (c *Cluster) Name() string {
+	return fmt.Sprintf("%dx %s", c.Size, c.Device.Name())
+}
+
+// CompileSharded compiles the per-shard graph produced by buildShard,
+// which receives the per-device batch size. The total batch must divide
+// evenly (static shapes: every member must compile the same graph).
+func (c *Cluster) CompileSharded(totalBatch int, buildShard func(shardBatch int) (*graph.Graph, error)) (*ClusterProgram, error) {
+	if totalBatch%c.Size != 0 {
+		return nil, fmt.Errorf("accel: batch %d does not shard evenly across %d devices (tensor sizes are fixed at compile time)", totalBatch, c.Size)
+	}
+	g, err := buildShard(totalBatch / c.Size)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.Device.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterProgram{cluster: c, member: p}, nil
+}
+
+// ClusterProgram is a compiled data-parallel execution.
+type ClusterProgram struct {
+	cluster *Cluster
+	member  *Program
+}
+
+// Member returns the per-device compiled program.
+func (p *ClusterProgram) Member() *Program { return p.member }
+
+// Estimate returns whole-cluster stats: members run concurrently, so
+// the time is one member's time plus the synchronization cost, while
+// traffic and FLOPs aggregate.
+func (p *ClusterProgram) Estimate() Stats {
+	s := p.member.Estimate()
+	n := p.cluster.Size
+	s.HostToDeviceBytes *= n
+	s.DeviceToHostBytes *= n
+	s.FLOPs *= float64(n)
+	s.Kernels *= n
+	s.SimTime += p.cluster.SyncCost
+	return s
+}

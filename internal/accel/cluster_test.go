@@ -1,0 +1,174 @@
+package accel_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/accel/gpu"
+	"repro/internal/accel/graphcore"
+	"repro/internal/accel/groq"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// decompressShard builds the standard Fig. 11 decompression graph for a
+// per-device shard of the 100×3×256×256 workload.
+func decompressShard(t *testing.T, cf, n int) func(int) (*graph.Graph, error) {
+	t.Helper()
+	return func(shardBatch int) (*graph.Graph, error) {
+		comp, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1}, n)
+		if err != nil {
+			return nil, err
+		}
+		return comp.BuildDecompressGraph(shardBatch, 3)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := accel.NewCluster(graphcore.New(), 0, 0); err == nil {
+		t.Fatal("size 0 must be rejected")
+	}
+	c, err := accel.NewCluster(graphcore.New(), 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "4x IPU" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if _, err := c.CompileSharded(102, decompressShard(t, 4, 256)); err == nil {
+		t.Fatal("uneven shard must be rejected")
+	} else if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestClusterSpeedsUpLinearly(t *testing.T) {
+	// 4 IPUs on a 100-batch workload should approach 4× a single IPU
+	// (transfer-bound, minus sync).
+	single, err := accel.NewCluster(graphcore.New(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := accel.NewCluster(graphcore.New(), 4, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := single.CompileSharded(100, decompressShard(t, 7, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := quad.CompileSharded(100, decompressShard(t, 7, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(p1.Estimate().SimTime) / float64(p4.Estimate().SimTime)
+	if speedup < 3 || speedup > 4.1 {
+		t.Fatalf("4-IPU speedup %.2f, want ≈4 (transfer-bound workload)", speedup)
+	}
+	// Aggregate accounting scales with members.
+	if p4.Estimate().HostToDeviceBytes != 4*p4.Member().Estimate().HostToDeviceBytes {
+		t.Fatal("cluster H2D bytes must aggregate members")
+	}
+}
+
+func TestScalabilityBeatsGPU(t *testing.T) {
+	// §4.2.2: a single GroqChip/IPU loses to the A100, but their
+	// deployed form factors (GroqNode ×8, Bow-Pod64 ×64) win.
+	payload := 100 * 3 * 256 * 256 * 4
+	gpuProg, err := gpu.New().Compile(mustGraph(t, 7, 256, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuGBs := gpuProg.Estimate().ThroughputGBs(payload)
+
+	singleIPU, err := accel.NewCluster(graphcore.New(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := singleIPU.CompileSharded(100, decompressShard(t, 7, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Estimate().ThroughputGBs(payload) >= gpuGBs {
+		t.Fatalf("single IPU should lose to the A100 at CR 1.31")
+	}
+
+	pod, err := accel.NewCluster(graphcore.New(), 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := pod.CompileSharded(100, decompressShard(t, 7, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.Estimate().ThroughputGBs(payload) <= gpuGBs {
+		t.Fatalf("4 IPUs (%.2f GB/s) should beat the A100 (%.2f GB/s)", p4.Estimate().ThroughputGBs(payload), gpuGBs)
+	}
+
+	node, err := accel.NewCluster(groq.New(), 8, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := node.CompileSharded(96, decompressShard(t, 2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Estimate().SimTime <= 0 {
+		t.Fatal("GroqNode estimate must be positive")
+	}
+}
+
+func TestClusterMembersStillHitDeviceWalls(t *testing.T) {
+	// Sharding reduces the batch but not the resolution: 512×512 still
+	// fails on every GroqChip in the node (static-shape walls are
+	// per-device).
+	node, err := accel.NewCluster(groq.New(), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.CompileSharded(96, decompressShard(t, 4, 512)); err == nil {
+		t.Fatal("512 must fail on each member")
+	}
+}
+
+func mustGraph(t *testing.T, cf, n, bd int) *graph.Graph {
+	t.Helper()
+	comp, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := comp.BuildDecompressGraph(bd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCostBreakdownExplainsTotal(t *testing.T) {
+	for _, d := range []*accel.Device{graphcore.New(), gpu.New(), groq.New()} {
+		p, err := d.Compile(mustGraph(t, 4, 256, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := p.Estimate()
+		b := st.Breakdown
+		var want time.Duration
+		if b.Overlap {
+			want = b.Fill + maxDur(b.Transfer, b.Compute) + b.Penalty
+		} else {
+			want = b.Fill + b.Transfer + b.Compute + b.Penalty
+		}
+		if diff := st.SimTime - want; diff > time.Microsecond || diff < -time.Microsecond {
+			t.Errorf("%s: breakdown sums to %v, SimTime %v", d.Name(), want, st.SimTime)
+		}
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package graphcore
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func prog(t *testing.T, cfg core.Config, op string, n, bd int) *accel.Program {
+	t.Helper()
+	comp, err := core.NewCompressor(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *graph.Graph
+	if op == "compress" {
+		g, err = comp.BuildCompressGraph(bd, 3)
+	} else {
+		g, err = comp.BuildDecompressGraph(bd, 3)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New().Compile(g)
+	if err != nil {
+		t.Fatalf("%s cfg=%v: %v", op, cfg, err)
+	}
+	return p
+}
+
+func chop(cf int) core.Config { return core.Config{ChopFactor: cf, Serialization: 1} }
+
+func TestSpecsMatchTable1(t *testing.T) {
+	s := New().Specs()
+	if s.Name != "IPU" || s.ComputeUnits != 1472 || s.OnChipMemory != 900<<20 {
+		t.Fatalf("specs %+v", s)
+	}
+	if s.Architecture != accel.ArchMIMD {
+		t.Fatal("the IPU is the most MIMD-like architecture")
+	}
+}
+
+func TestCompressionLeastVariance(t *testing.T) {
+	// §4.2.2: "the IPU has the least variance for compression throughput
+	// across compression ratios (≈1.2 GB/s)".
+	payload := 100 * 3 * 256 * 256 * 4
+	var min, max float64
+	for cf := 2; cf <= 7; cf++ {
+		gbs := prog(t, chop(cf), "compress", 256, 100).Estimate().ThroughputGBs(payload)
+		if min == 0 || gbs < min {
+			min = gbs
+		}
+		if gbs > max {
+			max = gbs
+		}
+	}
+	if max/min > 1.1 {
+		t.Fatalf("compression variance %.2fx (%.2f–%.2f GB/s)", max/min, min, max)
+	}
+	if min < 0.9 || max > 1.6 {
+		t.Fatalf("compression %.2f–%.2f GB/s outside the ≈1.2 GB/s band", min, max)
+	}
+}
+
+func TestDecompressionScalesWithCR(t *testing.T) {
+	// §4.2.2: "significant throughput improvement for higher compression
+	// ratios (up to 21 GB/s), while lower compression ratios perform
+	// modestly (≈2 GB/s)".
+	payload := 100 * 3 * 256 * 256 * 4
+	hi := prog(t, chop(2), "decompress", 256, 100).Estimate().ThroughputGBs(payload)
+	lo := prog(t, chop(7), "decompress", 256, 100).Estimate().ThroughputGBs(payload)
+	if hi < 14 || hi > 25 {
+		t.Fatalf("CR 16 decompression %.1f GB/s outside the band", hi)
+	}
+	if lo < 1 || lo > 3 {
+		t.Fatalf("CR 1.31 decompression %.1f GB/s outside the band", lo)
+	}
+}
+
+func Test512CompilesWithoutSerialization(t *testing.T) {
+	// §4.2.3: "The Graphcore IPU successfully ran no-serialization
+	// decompression for 512×512 images".
+	prog(t, chop(4), "decompress", 512, 100)
+	prog(t, chop(4), "compress", 512, 100)
+}
+
+func TestNoSerializationOnlySlightlyFaster(t *testing.T) {
+	// §4.2.3: at 512×512, no-serialization is "only 1-8% faster" than
+	// s=2 on the IPU.
+	noSer := prog(t, chop(4), "decompress", 512, 100).Estimate().SimTime
+	ser := prog(t, core.Config{ChopFactor: 4, Serialization: 2}, "decompress", 512, 100).Estimate().SimTime
+	total := 4 * ser // four chunk runs
+	ratio := float64(total) / float64(noSer)
+	if ratio < 1.005 || ratio > 1.1 {
+		t.Fatalf("s=2 vs s=1 time ratio %.3f; paper reports a 1-8%% gap", ratio)
+	}
+}
+
+func TestSGCompilesAndCostsThroughput(t *testing.T) {
+	// §3.5.2/Fig. 17: the IPU is the platform that runs SG, 1.5–2.7×
+	// slower than chop.
+	sgCfg := core.Config{ChopFactor: 4, Mode: core.ModeSG, Serialization: 1}
+	sg := prog(t, sgCfg, "decompress", 32, 100).Estimate().SimTime
+	dc := prog(t, chop(4), "decompress", 32, 100).Estimate().SimTime
+	ratio := float64(sg) / float64(dc)
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("SG slowdown %.2f outside the paper's 1.5–2.7x", ratio)
+	}
+}

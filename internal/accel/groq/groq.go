@@ -1,0 +1,57 @@
+// Package groq models the Groq GroqChip tensor streaming processor: a
+// compiler-scheduled SIMD/dataflow hybrid with 5120 ALUs, 230 MB of
+// on-chip memory shared across ALU layers, and matrix-multiply modules
+// limited to 320×320 operands (§2.1.3, §4.2.2).
+package groq
+
+import (
+	"time"
+
+	"repro/internal/accel"
+)
+
+// MXMDim is the matrix-multiply module's maximum operand dimension
+// (Ahmed et al., "Answer Fast: Accelerating BERT on the Tensor
+// Streaming Processor").
+const MXMDim = 320
+
+// New returns a GroqChip device model.
+//
+// Cost-model calibration (targets from §4.2.2 "GroqChip"): compression
+// ≈150 MB/s with low variance across chop factors, decompression
+// ≈200 MB/s and stratified by CR (higher CR faster), both far below the
+// dataflow machines.
+//
+//   - The TSP streams one input-matrix row per compiler-issued
+//     instruction slot; 6.5 µs per slot plus 0.3 ms per plane of
+//     schedule overhead reproduces the observed band. Compression
+//     streams full n-row planes regardless of CF (hence the low
+//     variance); decompression streams the CF·n/8-row compressed planes
+//     (hence the stratification and the across-the-board win).
+//   - Host link 4 GB/s effective; transfers are minor next to slots.
+//
+// Placement: operands above 320×320 cannot be scheduled on the MXM,
+// failing 512×512 at compile time, and the working set — including
+// 20 KB of compiler-generated instruction schedule per streamed plane —
+// must fit the 230 MB of on-chip memory, which fails beyond batch 1000
+// at 64×64 exactly as the paper reports.
+func New() *accel.Device {
+	specs := accel.Specs{
+		Name:          "GroqChip",
+		ComputeUnits:  5120,
+		OnChipMemory:  230 << 20, // 230 MB
+		PerUnitMemory: 46080,     // 0.045 MB shared per ALU (Table 1)
+		Software:      []string{"PT", "Keras", "ONNX"},
+		Architecture:  accel.ArchSIMD,
+	}
+	cost := accel.CostModel{
+		HostLinkGBs:     4,
+		HostLinkLatency: 20 * time.Microsecond,
+		RowSlotTime:     6500 * time.Nanosecond,
+		PlaneOverhead:   300 * time.Microsecond,
+	}
+	return accel.NewDevice(specs, accel.CommonSupport(), cost,
+		accel.MaxMatrixDim(MXMDim),
+		accel.WorkingSetFits(20<<10),
+	)
+}

@@ -1,0 +1,121 @@
+package groq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func prog(t *testing.T, cf int, op string, n, bd int) (*accel.Program, error) {
+	t.Helper()
+	comp, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *graph.Graph
+	if op == "compress" {
+		g, err = comp.BuildCompressGraph(bd, 3)
+	} else {
+		g, err = comp.BuildDecompressGraph(bd, 3)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New().Compile(g)
+}
+
+func TestSpecsMatchTable1(t *testing.T) {
+	s := New().Specs()
+	if s.Name != "GroqChip" || s.ComputeUnits != 5120 || s.OnChipMemory != 230<<20 {
+		t.Fatalf("specs %+v", s)
+	}
+	if s.Architecture != accel.ArchSIMD {
+		t.Fatal("GroqChip is the SIMD/dataflow hybrid")
+	}
+}
+
+func TestCompressionLowVariance(t *testing.T) {
+	// §4.2.2: "across all compression ratios, the throughput does not
+	// vary significantly (≈150 MB/s)" — compression streams full input
+	// planes regardless of CF.
+	payload := 100 * 3 * 256 * 256 * 4
+	var min, max float64
+	for cf := 2; cf <= 7; cf++ {
+		p, err := prog(t, cf, "compress", 256, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gbs := p.Estimate().ThroughputGBs(payload)
+		if min == 0 || gbs < min {
+			min = gbs
+		}
+		if gbs > max {
+			max = gbs
+		}
+	}
+	if max/min > 1.1 {
+		t.Fatalf("compression variance %.2fx too high (%.3f–%.3f GB/s)", max/min, min, max)
+	}
+	if min < 0.08 || max > 0.3 {
+		t.Fatalf("compression %.3f–%.3f GB/s outside the ≈150 MB/s band", min, max)
+	}
+}
+
+func TestDecompressionStratifiedAndFaster(t *testing.T) {
+	// §4.2.2: decompression "across the board performs better than
+	// compression" and is stratified by CR.
+	payload := 100 * 3 * 256 * 256 * 4
+	var prev float64
+	for cf := 2; cf <= 7; cf++ {
+		pc, err := prog(t, cf, "compress", 256, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := prog(t, cf, "decompress", 256, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := pd.Estimate().ThroughputGBs(payload)
+		if dec <= pc.Estimate().ThroughputGBs(payload) {
+			t.Errorf("cf=%d: decompression not faster than compression", cf)
+		}
+		if prev != 0 && dec > prev {
+			t.Errorf("cf=%d: decompression throughput must fall as CF rises", cf)
+		}
+		prev = dec
+	}
+}
+
+func TestMXMLimitAt512(t *testing.T) {
+	if _, err := prog(t, 4, "compress", 512, 100); err == nil {
+		t.Fatal("512 must fail on the 320x320 MXM")
+	} else if !strings.Contains(err.Error(), "320") {
+		t.Fatalf("want MXM error, got %v", err)
+	}
+	// 256 ≤ 320 compiles.
+	if _, err := prog(t, 4, "compress", 256, 100); err != nil {
+		t.Fatalf("256 must compile: %v", err)
+	}
+}
+
+func TestBatchWallBeyond1000(t *testing.T) {
+	for cf := 2; cf <= 7; cf++ {
+		if _, err := prog(t, cf, "compress", 64, 1000); err != nil {
+			t.Errorf("cf=%d batch 1000 must compile: %v", cf, err)
+		}
+		if _, err := prog(t, cf, "compress", 64, 2000); err == nil {
+			t.Errorf("cf=%d batch 2000 must fail", cf)
+		} else if !strings.Contains(err.Error(), "instruction schedule") {
+			t.Errorf("want schedule-memory error, got %v", err)
+		}
+	}
+}
+
+func TestMXMDimConstant(t *testing.T) {
+	if MXMDim != 320 {
+		t.Fatalf("MXMDim = %d", MXMDim)
+	}
+}

@@ -1,0 +1,35 @@
+// Package platforms aggregates the five device models so harnesses and
+// examples can iterate "across four state-of-the-art AI accelerators"
+// (plus the A100 reference) the way the paper's evaluation does.
+package platforms
+
+import (
+	"repro/internal/accel"
+	"repro/internal/accel/cerebras"
+	"repro/internal/accel/gpu"
+	"repro/internal/accel/graphcore"
+	"repro/internal/accel/groq"
+	"repro/internal/accel/sambanova"
+)
+
+// Accelerators returns the four AI accelerators of Table 1 in the
+// paper's column order: CS-2, SN30, GroqChip, IPU.
+func Accelerators() []*accel.Device {
+	return []*accel.Device{cerebras.New(), sambanova.New(), groq.New(), graphcore.New()}
+}
+
+// All returns the accelerators plus the A100 GPU reference.
+func All() []*accel.Device {
+	return append(Accelerators(), gpu.New())
+}
+
+// ByName returns the device with the given name (case-sensitive, as in
+// Table 1: "CS-2", "SN30", "GroqChip", "IPU", "A100"), or nil.
+func ByName(name string) *accel.Device {
+	for _, d := range All() {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package platforms
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAcceleratorsTable1Order(t *testing.T) {
+	devs := Accelerators()
+	want := []string{"CS-2", "SN30", "GroqChip", "IPU"}
+	if len(devs) != len(want) {
+		t.Fatalf("%d accelerators", len(devs))
+	}
+	for i, w := range want {
+		if devs[i].Name() != w {
+			t.Fatalf("position %d: %s, want %s", i, devs[i].Name(), w)
+		}
+	}
+}
+
+func TestAllIncludesGPU(t *testing.T) {
+	devs := All()
+	if len(devs) != 5 || devs[4].Name() != "A100" {
+		t.Fatalf("All() = %v devices, last %s", len(devs), devs[len(devs)-1].Name())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CS-2", "SN30", "GroqChip", "IPU", "A100"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("cs-2") != nil {
+		t.Error("ByName is case-sensitive like Table 1")
+	}
+	if ByName("") != nil {
+		t.Error("empty name must not match")
+	}
+}
+
+func TestFreshInstancesPerCall(t *testing.T) {
+	// Each call returns fresh devices so callers can't alias state.
+	a := Accelerators()
+	b := Accelerators()
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatal("Accelerators must construct fresh devices")
+		}
+	}
+}
+
+func TestOperatorSupportMatrix(t *testing.T) {
+	// §3.1/§3.5.2: the portability matrix the paper's design navigates.
+	type row struct {
+		op       graph.OpKind
+		expected map[string]bool
+	}
+	all := func(v bool) map[string]bool {
+		return map[string]bool{"CS-2": v, "SN30": v, "GroqChip": v, "IPU": v, "A100": v}
+	}
+	matmulEverywhere := all(true)
+	gatherScatter := all(false)
+	gatherScatter["IPU"] = true
+	gatherScatter["A100"] = true
+	bitOps := all(false)
+	bitOps["A100"] = true
+	rows := []row{
+		{graph.OpMatMulRight, matmulEverywhere},
+		{graph.OpMatMulLeft, matmulEverywhere},
+		{graph.OpReshape, matmulEverywhere},
+		{graph.OpGather, gatherScatter},
+		{graph.OpScatter, gatherScatter},
+		{graph.OpBitShift, bitOps},
+		{graph.OpBitAnd, bitOps},
+	}
+	for _, d := range All() {
+		for _, r := range rows {
+			if got := d.Supports(r.op); got != r.expected[d.Name()] {
+				t.Errorf("%s supports %v = %v, want %v", d.Name(), r.op, got, r.expected[d.Name()])
+			}
+		}
+	}
+}

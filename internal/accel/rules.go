@@ -1,0 +1,106 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file provides the reusable placement rules the platform packages
+// compose. Each rule reproduces one of the compile-failure modes the
+// paper reports (§4.2.2): per-memory-unit capacity on the SN30 RDU,
+// matrix-width limits on the GroqChip MXM, and whole-chip working-set
+// exhaustion.
+
+// MaxPlaneFitsPerUnit fails compilation when any runtime tensor's
+// trailing 2-D plane, plus the constant operands of the node that
+// produces or consumes it, exceeds one memory unit's capacity. This is
+// the SN30 PMU rule: "one PMU has 0.5 MB of space and can hold up to
+// one, single-channel 362×362 matrix of 32-bit floating point values"
+// (§3.5.1), and compilation of 512×512 fails because "the PMUs cannot
+// fit the entire output matrix along with matrices required for
+// compression/decompression" (§4.2.2).
+func MaxPlaneFitsPerUnit() PlacementRule {
+	return func(d *Device, g *graph.Graph) error {
+		cap := int(d.specs.PerUnitMemory)
+		for _, n := range g.Nodes {
+			if n.Kind == graph.OpConst {
+				continue
+			}
+			pb, _ := planeBytes(n.Shape)
+			constBytes := 0
+			for _, in := range n.Inputs {
+				if in.Kind == graph.OpConst {
+					constBytes += in.Bytes()
+				}
+			}
+			if pb+constBytes > cap {
+				return &CompileError{
+					Device: d.specs.Name,
+					Graph:  g.Name,
+					Reason: fmt.Sprintf("out of memory on-chip: node %d (%s) needs a %d-byte plane plus %d bytes of operand matrices in one %d-byte memory unit", n.ID, n.Kind, pb, constBytes, cap),
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// MaxMatrixDim fails compilation when a matmul operand's matrix
+// dimension exceeds the hardware multiplier width — the GroqChip MXM
+// handles up to 320×320 operands (§4.2.2, citing Ahmed et al.), so
+// 512×512 planes cannot be scheduled.
+func MaxMatrixDim(limit int) PlacementRule {
+	return func(d *Device, g *graph.Graph) error {
+		for _, n := range g.Nodes {
+			if n.Kind != graph.OpMatMulLeft && n.Kind != graph.OpMatMulRight {
+				continue
+			}
+			for _, in := range n.Inputs {
+				s := in.Shape
+				if len(s) < 2 {
+					continue
+				}
+				r, c := s[len(s)-2], s[len(s)-1]
+				if r > limit || c > limit {
+					return &CompileError{
+						Device: d.specs.Name,
+						Graph:  g.Name,
+						Reason: fmt.Sprintf("matrix operand %dx%d exceeds %dx%d matrix-multiply module limit", r, c, limit, limit),
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// WorkingSetFits fails compilation when the whole graph's resident
+// footprint — runtime tensors, constants, and scheduleBytesPerPlane of
+// compiler-generated instruction schedule per streamed plane — exceeds
+// the chip's total on-chip memory. With a nonzero schedule term this is
+// the GroqChip batch-size wall ("fails to compile beyond a batch size of
+// 1000 since on-chip memory is exhausted", §4.2.2); with zero it is the
+// generic capacity check the IPU and CS-2 apply.
+func WorkingSetFits(scheduleBytesPerPlane int) PlacementRule {
+	return func(d *Device, g *graph.Graph) error {
+		total := 0
+		planes := 0
+		for _, n := range g.Nodes {
+			total += n.Bytes()
+			if n.Kind == graph.OpInput {
+				_, np := planeBytes(n.Shape)
+				planes += np
+			}
+		}
+		total += planes * scheduleBytesPerPlane
+		if int64(total) > d.specs.OnChipMemory {
+			return &CompileError{
+				Device: d.specs.Name,
+				Graph:  g.Name,
+				Reason: fmt.Sprintf("out of memory on-chip: working set %d bytes (incl. %d planes of instruction schedule) exceeds %d bytes of on-chip memory", total, planes, d.specs.OnChipMemory),
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,60 @@
+// Package sambanova models one SambaNova SN30 reconfigurable dataflow
+// unit (RDU): 1280 pattern compute units and 1280 pattern memory units
+// of 0.5 MB each (640 MB on-chip), programmed by tracing a computation
+// graph whose operators the compiler places onto tiles (§2.1.2). The
+// paper evaluates a single RDU; so does this model.
+package sambanova
+
+import (
+	"time"
+
+	"repro/internal/accel"
+)
+
+// New returns an SN30 (single RDU) device model.
+//
+// Cost-model calibration (targets from §4.2.2 "SN30"): 7–10 GB/s for
+// both directions over PCIe 4.0, compression ratios 4.0 and 7.11
+// fastest, CR 16.0 slower than both despite needing fewer FLOPs, and
+// time linear in batch size.
+//
+//   - Host link 10 GB/s effective (PCIe 4.0 ×16 with protocol overhead).
+//   - On-chip traffic at 20 GB/s effective across PMUs bounds the
+//     compute side; with overlap this puts 256×256 compression at
+//     ≈9 GB/s and decompression at ≈10 GB/s for CR 4.
+//   - A 10 µs penalty per sub-20 KB tensor plane models the RDU's
+//     small-tensor overhead ("higher throughput … on fewer, large
+//     tensors compared to many small tensors"): at CR 16 the 64×64
+//     compressed planes fall under the threshold, making CR 16 slower
+//     than CR 4/7.11 exactly as the paper observes.
+//
+// Placement: every runtime tensor plane, together with the constant
+// matrices the producing node needs, must fit a 0.5 MB PMU. 512×512
+// therefore fails to compile ("the PMUs cannot fit the entire output
+// matrix along with matrices required for compression/decompression"),
+// while partial serialization with s=2 brings the chunk planes back
+// under the limit and compiles.
+func New() *accel.Device {
+	specs := accel.Specs{
+		Name:          "SN30",
+		ComputeUnits:  1280,
+		OnChipMemory:  640 << 20, // 640 MB
+		PerUnitMemory: 512 << 10, // 0.5 MB per PMU
+		Software:      []string{"SF", "PT"},
+		Architecture:  accel.ArchDataflow,
+	}
+	cost := accel.CostModel{
+		HostLinkGBs:        10,
+		HostLinkLatency:    20 * time.Microsecond,
+		ComputeGFLOPs:      50000,
+		OnChipGBs:          20,
+		PipelineFill:       time.Millisecond,
+		Overlap:            true,
+		SmallTensorBytes:   20 << 10,
+		SmallTensorPenalty: 10 * time.Microsecond,
+	}
+	return accel.NewDevice(specs, accel.CommonSupport(), cost,
+		accel.MaxPlaneFitsPerUnit(),
+		accel.WorkingSetFits(0),
+	)
+}

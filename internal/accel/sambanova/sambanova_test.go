@@ -1,0 +1,135 @@
+package sambanova
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func prog(t *testing.T, cfg core.Config, op string, n, bd int) (*accel.Program, error) {
+	t.Helper()
+	comp, err := core.NewCompressor(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *graph.Graph
+	if op == "compress" {
+		g, err = comp.BuildCompressGraph(bd, 3)
+	} else {
+		g, err = comp.BuildDecompressGraph(bd, 3)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New().Compile(g)
+}
+
+func chop(cf, s int) core.Config {
+	return core.Config{ChopFactor: cf, Serialization: s}
+}
+
+func TestSpecsMatchTable1(t *testing.T) {
+	s := New().Specs()
+	if s.Name != "SN30" || s.ComputeUnits != 1280 || s.OnChipMemory != 640<<20 {
+		t.Fatalf("specs %+v", s)
+	}
+	// The 0.5 MB PMU the paper's §3.5.1 sizing argument rests on.
+	if s.PerUnitMemory != 512<<10 {
+		t.Fatalf("PMU size %d, want 0.5 MB", s.PerUnitMemory)
+	}
+}
+
+func TestThroughputInPaperBand(t *testing.T) {
+	// §4.2.2: "around 7 to 10 GB/s" including PCIe 4.0 transfer.
+	payload := 100 * 3 * 256 * 256 * 4
+	for cf := 2; cf <= 7; cf++ {
+		for _, op := range []string{"compress", "decompress"} {
+			p, err := prog(t, chop(cf, 1), op, 256, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gbs := p.Estimate().ThroughputGBs(payload)
+			if gbs < 5 || gbs > 13 {
+				t.Errorf("%s cf=%d: %.1f GB/s outside the SN30 band", op, cf, gbs)
+			}
+		}
+	}
+}
+
+func TestCR4And711Fastest(t *testing.T) {
+	// §4.2.2: "Compression ratios of 4.0 and 7.11 perform best ... the
+	// highest compression ratio, 16.0, is slower than both".
+	times := map[int]float64{}
+	for _, cf := range []int{2, 3, 4, 5, 6, 7} {
+		p, err := prog(t, chop(cf, 1), "decompress", 256, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[cf] = p.Estimate().SimTime.Seconds()
+	}
+	if times[2] <= times[3] || times[2] <= times[4] {
+		t.Fatalf("CR 16 (%.3gs) must be slower than CR 7.11 (%.3gs) and CR 4 (%.3gs)", times[2], times[3], times[4])
+	}
+	best := times[3]
+	if times[4] < best {
+		best = times[4]
+	}
+	for _, cf := range []int{5, 6, 7} {
+		if times[cf] < best-1e-9 {
+			t.Fatalf("cf=%d (%.3gs) beats the CR 4/7.11 optimum (%.3gs)", cf, times[cf], best)
+		}
+	}
+}
+
+func TestPMUWallAt512(t *testing.T) {
+	// "Compilation fails for 512×512 resolution since the PMUs cannot
+	// fit the entire output matrix along with matrices required".
+	for cf := 2; cf <= 7; cf++ {
+		for _, op := range []string{"compress", "decompress"} {
+			if _, err := prog(t, chop(cf, 1), op, 512, 100); err == nil {
+				t.Errorf("%s cf=%d at 512 must fail", op, cf)
+			} else if !strings.Contains(err.Error(), "memory unit") {
+				t.Errorf("want PMU-capacity error, got %v", err)
+			}
+		}
+	}
+}
+
+func TestPartialSerializationRestores512(t *testing.T) {
+	// Fig. 15: s=2 fits the chunk planes back into the PMUs.
+	for cf := 2; cf <= 7; cf++ {
+		if _, err := prog(t, chop(cf, 2), "decompress", 512, 100); err != nil {
+			t.Errorf("s=2 cf=%d must compile: %v", cf, err)
+		}
+	}
+}
+
+func TestSmallTensorPenaltyOnlyBelowThreshold(t *testing.T) {
+	// The CR 16 penalty comes from sub-20 KB planes; CR 4's 128×128
+	// planes (64 KB) must not be charged. Compare per-byte cost.
+	p2, err := prog(t, chop(2, 1), "decompress", 256, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := prog(t, chop(4, 1), "decompress", 256, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CF=2 moves 1/4 the data of CF=4 yet must take longer.
+	if p2.Estimate().SimTime <= p4.Estimate().SimTime {
+		t.Fatalf("CR 16 (%v) should be slower than CR 4 (%v) despite less data", p2.Estimate().SimTime, p4.Estimate().SimTime)
+	}
+}
+
+func TestScatterGatherUnsupported(t *testing.T) {
+	// §3.5.2: the SG optimization cannot compile on the SN30.
+	cfg := core.Config{ChopFactor: 4, Mode: core.ModeSG, Serialization: 1}
+	if _, err := prog(t, cfg, "decompress", 32, 100); err == nil {
+		t.Fatal("SG graph must be rejected")
+	} else if !strings.Contains(err.Error(), "unsupported operators") {
+		t.Fatalf("want operator-support error, got %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package bitstream provides MSB-first bit-level I/O for the ZFP-style
+// fixed-rate codec and the host-side variable-length encoders. These are
+// exactly the bit-shift/bit-mask operations the paper's accelerators
+// cannot express from PyTorch (§3.1) — which is why they live here, on
+// the host, and never inside a device graph.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits MSB-first into a byte slice.
+type Writer struct {
+	buf  []byte
+	acc  uint64 // pending bits, left-aligned in the low `n` positions
+	n    uint   // number of pending bits in acc
+	bits int    // total bits written
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low `width` bits of v, most significant first.
+// width must be ≤ 64.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: width %d > 64", width))
+	}
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	w.bits += int(width)
+	for width > 0 {
+		space := 8 - w.n%8
+		if w.n%8 == 0 {
+			w.buf = append(w.buf, 0)
+			space = 8
+		}
+		take := space
+		if width < take {
+			take = width
+		}
+		chunk := byte(v >> (width - take))
+		w.buf[len(w.buf)-1] |= chunk << (space - take)
+		w.n += take
+		width -= take
+	}
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b uint) { w.WriteBits(uint64(b&1), 1) }
+
+// Bits returns the total number of bits written.
+func (w *Writer) Bits() int { return w.bits }
+
+// Bytes returns the encoded buffer (final partial byte zero-padded).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader wraps buf for reading.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ErrOutOfBits reports an over-read.
+var ErrOutOfBits = errors.New("bitstream: read past end of stream")
+
+// ReadBits consumes `width` bits and returns them in the low positions.
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: width %d > 64", width))
+	}
+	if r.pos+int(width) > 8*len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	var v uint64
+	for width > 0 {
+		byteIx := r.pos / 8
+		bitIx := uint(r.pos % 8)
+		avail := 8 - bitIx
+		take := avail
+		if width < take {
+			take = width
+		}
+		chunk := (r.buf[byteIx] >> (avail - take)) & ((1 << take) - 1)
+		v = v<<take | uint64(chunk)
+		r.pos += int(take)
+		width -= take
+	}
+	return v, nil
+}
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return 8*len(r.buf) - r.pos }
+
+// Skip advances past n bits.
+func (r *Reader) Skip(n int) error {
+	if r.pos+n > 8*len(r.buf) {
+		return ErrOutOfBits
+	}
+	r.pos += n
+	return nil
+}

@@ -1,0 +1,128 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBits(0xDEADBEEF, 32)
+	w.WriteBit(1)
+	if w.Bits() != 3+8+5+32+1 {
+		t.Fatalf("Bits = %d", w.Bits())
+	}
+	r := NewReader(w.Bytes())
+	for _, c := range []struct {
+		width uint
+		want  uint64
+	}{{3, 0b101}, {8, 0xFF}, {5, 0}, {32, 0xDEADBEEF}, {1, 1}} {
+		got, err := r.ReadBits(c.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("ReadBits(%d) = %#x, want %#x", c.width, got, c.want)
+		}
+	}
+}
+
+func TestWidthMasking(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFF, 4) // only low 4 bits should be kept
+	r := NewReader(w.Bytes())
+	v, err := r.ReadBits(4)
+	if err != nil || v != 0xF {
+		t.Fatalf("masked write read back %#x (%v)", v, err)
+	}
+}
+
+func TestZeroWidthIsNoop(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(123, 0)
+	if w.Bits() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("zero-width write must not emit anything")
+	}
+}
+
+func TestFull64BitWrite(t *testing.T) {
+	w := NewWriter()
+	const v = 0xA5A5_5A5A_DEAD_BEEF
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(64)
+	if err != nil || got != v {
+		t.Fatalf("64-bit round trip %#x (%v)", got, err)
+	}
+}
+
+func TestOverReadFails(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1, 3)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal("padded byte should still be readable")
+	}
+	if _, err := r.ReadBits(1); err != ErrOutOfBits {
+		t.Fatalf("over-read error = %v", err)
+	}
+}
+
+func TestSkipAndRemaining(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xAB, 8)
+	w.WriteBits(0xCD, 8)
+	r := NewReader(w.Bytes())
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	if err := r.Skip(8); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0xCD {
+		t.Fatalf("after skip read %#x", v)
+	}
+	if err := r.Skip(1); err != ErrOutOfBits {
+		t.Fatal("skip past end must fail")
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(values []uint64, widths []uint8) bool {
+		n := len(values)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := NewWriter()
+		type rec struct {
+			v     uint64
+			width uint
+		}
+		var recs []rec
+		for i := 0; i < n; i++ {
+			width := uint(widths[i] % 65)
+			v := values[i]
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			w.WriteBits(values[i], width)
+			recs = append(recs, rec{v, width})
+		}
+		r := NewReader(w.Bytes())
+		for _, rc := range recs {
+			got, err := r.ReadBits(rc.width)
+			if err != nil || got != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCompressorAccessors(t *testing.T) {
+	cfg := Config{ChopFactor: 4, Serialization: 1}
+	c := mustCompressor(t, cfg, 32)
+	if c.Config() != cfg {
+		t.Fatalf("Config() = %v", c.Config())
+	}
+	if c.Resolution() != 32 {
+		t.Fatalf("Resolution = %d", c.Resolution())
+	}
+	shape := c.CompressedPlaneShape()
+	if len(shape) != 2 || shape[0] != 16 || shape[1] != 16 {
+		t.Fatalf("CompressedPlaneShape = %v", shape)
+	}
+	if c.TriangleIndices() != nil {
+		t.Fatal("chop mode has no triangle indices")
+	}
+	// RHS is LHSᵀ for the orthonormal DCT.
+	if d := c.RHS().MaxAbsDiff(c.LHS().Transpose()); d != 0 {
+		t.Fatalf("RHS != LHSᵀ by %g", d)
+	}
+
+	sg := mustCompressor(t, Config{ChopFactor: 3, Mode: ModeSG, Serialization: 1}, 32)
+	sgShape := sg.CompressedPlaneShape()
+	if len(sgShape) != 1 || sgShape[0] != 16*6 {
+		t.Fatalf("SG plane shape %v, want [96]", sgShape)
+	}
+	if len(sg.TriangleIndices()) != 96 {
+		t.Fatalf("SG triangle indices %d", len(sg.TriangleIndices()))
+	}
+}
+
+func TestFlatRoundTripperAccessors(t *testing.T) {
+	cfg := Config{ChopFactor: 4, Serialization: 1}
+	rt, err := NewFlatRoundTripper(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Config() != cfg {
+		t.Fatalf("Config = %v", rt.Config())
+	}
+	if rt.PlaneBytes() != 4*16*16 {
+		t.Fatalf("PlaneBytes = %d", rt.PlaneBytes())
+	}
+	if _, err := NewFlatRoundTripper(cfg, 17); err == nil {
+		t.Fatal("plane size not divisible by block must fail")
+	}
+}
+
+func TestFlatRoundTripperTensor(t *testing.T) {
+	rt, err := NewFlatRoundTripper(Config{ChopFactor: 8, Serialization: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(1)
+	x := r.Uniform(-1, 1, 3, 5, 7) // deliberately non-plane shape
+	out, bytes, err := rt.RoundTripTensor(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SameShape(x) {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	if bytes <= 0 {
+		t.Fatalf("bytes %d", bytes)
+	}
+	if d := out.MaxAbsDiff(x); d > 1e-4 {
+		t.Fatalf("CF=8 tensor round trip error %g", d)
+	}
+}
+
+func TestConfigStringVariants(t *testing.T) {
+	cases := map[string]Config{
+		"CF=4 CR=4.00 DCT+Chop":         {ChopFactor: 4, Serialization: 1},
+		"CF=4 CR=6.40 DCT+Chop+SG":      {ChopFactor: 4, Mode: ModeSG, Serialization: 1},
+		"CF=4 CR=4.00 DCT+Chop s=2":     {ChopFactor: 4, Serialization: 2},
+		"CF=2 CR=4.00 DCT+Chop ZFP4":    {ChopFactor: 2, Serialization: 1, Transform: TransformZFP4},
+		"CF=2 CR=5.33 DCT+Chop+SG ZFP4": {ChopFactor: 2, Mode: ModeSG, Serialization: 1, Transform: TransformZFP4},
+	}
+	for want, cfg := range cases {
+		if got := cfg.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if ModeChop.String() != "DCT+Chop" || ModeSG.String() != "DCT+Chop+SG" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(7).String() == "" || TransformKind(9).String() == "" {
+		t.Fatal("unknown enums must still render")
+	}
+}
+
+func TestFLOPsZFPVariant(t *testing.T) {
+	cfg := Config{ChopFactor: 2, Serialization: 1, Transform: TransformZFP4}
+	// Dense fused cost: 2mn² + 2m²n per plane with m = cf·n/4.
+	n := 16
+	m := 2 * n / 4
+	want := 2.0 * (2*float64(m)*float64(n)*float64(n) + 2*float64(m)*float64(m)*float64(n)) * 3
+	if got := cfg.CompressFLOPs(2, 3, n); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("ZFP4 CompressFLOPs = %g, want %g", got, want)
+	}
+	if cfg.DecompressFLOPs(2, 3, n) != cfg.CompressFLOPs(2, 3, n) {
+		t.Fatal("dense fused cost is symmetric for the ZFP4 variant")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// FlatRoundTripper applies DCT+Chop to tensors of any shape by packing
+// their values row-major into fixed-size square planes (zero-padding the
+// tail), round-tripping the planes, and unpacking. This is the adapter
+// the paper's future-work targets need: weights, activations and
+// gradients are not n×n image batches, but the compressor's compiled
+// plane shape must stay static (§3.1), so arbitrary tensors are
+// reshaped to it instead.
+//
+// Padding zeros compress losslessly under DCT (they are a constant
+// block), so the only fidelity cost is the chop itself.
+type FlatRoundTripper struct {
+	comp   *Compressor
+	planeN int
+}
+
+// NewFlatRoundTripper compiles an adapter with the given configuration
+// and plane size (planeN×planeN values per plane; must satisfy the
+// config's block/serialization divisibility).
+func NewFlatRoundTripper(cfg Config, planeN int) (*FlatRoundTripper, error) {
+	comp, err := NewCompressor(cfg, planeN)
+	if err != nil {
+		return nil, err
+	}
+	return &FlatRoundTripper{comp: comp, planeN: planeN}, nil
+}
+
+// Config returns the underlying compressor configuration.
+func (f *FlatRoundTripper) Config() Config { return f.comp.Config() }
+
+// PlaneBytes returns the compiled plane footprint in bytes.
+func (f *FlatRoundTripper) PlaneBytes() int { return 4 * f.planeN * f.planeN }
+
+// RoundTrip compresses and decompresses values in place semantics-wise:
+// it returns a new slice of the same length holding the lossy
+// reconstruction, plus the compressed payload size in bytes.
+func (f *FlatRoundTripper) RoundTrip(values []float32) ([]float32, int, error) {
+	if len(values) == 0 {
+		return nil, 0, fmt.Errorf("core: FlatRoundTripper on empty slice")
+	}
+	plane := f.planeN * f.planeN
+	nplanes := (len(values) + plane - 1) / plane
+	packed := tensor.New(nplanes, 1, f.planeN, f.planeN)
+	copy(packed.Data(), values)
+	y, err := f.comp.Compress(packed)
+	if err != nil {
+		return nil, 0, err
+	}
+	back, err := f.comp.Decompress(y)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]float32, len(values))
+	copy(out, back.Data()[:len(values)])
+	return out, y.CompressedBytes(), nil
+}
+
+// RoundTripTensor is RoundTrip for a tensor, preserving its shape.
+func (f *FlatRoundTripper) RoundTripTensor(t *tensor.Tensor) (*tensor.Tensor, int, error) {
+	vals, bytes, err := f.RoundTrip(t.Data())
+	if err != nil {
+		return nil, 0, err
+	}
+	return tensor.FromSlice(vals, t.Shape()...), bytes, nil
+}

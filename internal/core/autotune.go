@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// ChooseChopFactor picks the most aggressive chop factor (highest
+// compression ratio) whose compress→decompress round trip on a
+// calibration batch still meets the given PSNR target — a quality-driven
+// configuration step in the spirit of SZ's error-bounded mode (§2.2),
+// adapted to DCT+Chop's compile-time constraint: the search happens
+// once, offline, and the chosen CF is then fixed for compilation.
+//
+// base supplies the non-CF fields (mode, serialization, transform);
+// sample must match the resolution the compressor will be compiled for.
+// If even the largest CF misses the target, the lossless-up-to-float32
+// full-block configuration is returned along with ErrTargetUnreachable.
+func ChooseChopFactor(sample *tensor.Tensor, targetPSNR float64, base Config) (Config, float64, error) {
+	if sample.Dims() != 4 {
+		return Config{}, 0, fmt.Errorf("core: calibration batch must be [BD,C,n,n], got %v", sample.Shape())
+	}
+	n := sample.Dim(2)
+	bs := base.Transform.BlockSizeOf()
+	var lastPSNR float64
+	for cf := 1; cf <= bs; cf++ {
+		cfg := base
+		cfg.ChopFactor = cf
+		comp, err := NewCompressor(cfg, n)
+		if err != nil {
+			return Config{}, 0, err
+		}
+		back, err := comp.RoundTrip(sample)
+		if err != nil {
+			return Config{}, 0, err
+		}
+		lastPSNR = metrics.PSNR(sample, back)
+		if lastPSNR >= targetPSNR {
+			return cfg, lastPSNR, nil
+		}
+	}
+	full := base
+	full.ChopFactor = bs
+	return full, lastPSNR, fmt.Errorf("core: %w: best achievable PSNR %.2f dB < target %.2f dB", ErrTargetUnreachable, lastPSNR, targetPSNR)
+}
+
+// ErrTargetUnreachable reports that no chop factor meets the requested
+// quality target on the calibration data.
+var ErrTargetUnreachable = fmt.Errorf("quality target unreachable")

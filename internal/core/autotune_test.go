@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func TestChooseChopFactorMeetsTarget(t *testing.T) {
+	r := tensor.NewRNG(1)
+	sample := smoothBatch(r, 2, 3, 32)
+	base := Config{Serialization: 1}
+	cfg, psnr, err := ChooseChopFactor(sample, 25, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 25 {
+		t.Fatalf("returned PSNR %g below target", psnr)
+	}
+	// Verify the choice is tight: one CF lower must miss the target.
+	if cfg.ChopFactor > 1 {
+		lower := base
+		lower.ChopFactor = cfg.ChopFactor - 1
+		comp, err := NewCompressor(lower, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := comp.RoundTrip(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if metrics.PSNR(sample, back) >= 25 {
+			t.Fatalf("CF=%d already meets the target; ChooseChopFactor was not minimal", lower.ChopFactor)
+		}
+	}
+}
+
+func TestChooseChopFactorHigherTargetHigherCF(t *testing.T) {
+	r := tensor.NewRNG(2)
+	sample := smoothBatch(r, 2, 1, 32)
+	base := Config{Serialization: 1}
+	loose, _, err := ChooseChopFactor(sample, 20, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _, err := ChooseChopFactor(sample, 45, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.ChopFactor < loose.ChopFactor {
+		t.Fatalf("tighter target chose smaller CF (%d < %d)", tight.ChopFactor, loose.ChopFactor)
+	}
+	if loose.Ratio() < tight.Ratio() {
+		t.Fatal("looser target must yield at least as much compression")
+	}
+}
+
+func TestChooseChopFactorUnreachable(t *testing.T) {
+	r := tensor.NewRNG(3)
+	sample := r.Uniform(-1, 1, 1, 1, 16, 16) // white noise
+	_, _, err := ChooseChopFactor(sample, 500, Config{Serialization: 1})
+	if !errors.Is(err, ErrTargetUnreachable) {
+		t.Fatalf("err = %v, want ErrTargetUnreachable", err)
+	}
+}
+
+func TestChooseChopFactorRespectsBaseConfig(t *testing.T) {
+	r := tensor.NewRNG(4)
+	sample := smoothBatch(r, 1, 1, 32)
+	base := Config{Serialization: 2, Transform: TransformZFP4}
+	cfg, _, err := ChooseChopFactor(sample, 30, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Serialization != 2 || cfg.Transform != TransformZFP4 {
+		t.Fatalf("base fields not preserved: %+v", cfg)
+	}
+	if cfg.ChopFactor > 4 {
+		t.Fatalf("ZFP4 chop factor %d exceeds block size", cfg.ChopFactor)
+	}
+}
+
+func TestChooseChopFactorRejectsBadSample(t *testing.T) {
+	if _, _, err := ChooseChopFactor(tensor.New(8, 8), 20, Config{Serialization: 1}); err == nil {
+		t.Fatal("non-4D sample must be rejected")
+	}
+}
+
+func TestChooseChopFactorInfTargetOnLosslessData(t *testing.T) {
+	// A constant batch is reconstructed exactly at any CF (pure DC), so
+	// even absurd finite targets resolve to CF=1.
+	sample := tensor.Full(2.5, 1, 1, 16, 16)
+	cfg, psnr, err := ChooseChopFactor(sample, 100, Config{Serialization: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ChopFactor != 1 {
+		t.Fatalf("constant data should compress at CF=1, got %d", cfg.ChopFactor)
+	}
+	if !math.IsInf(psnr, 1) && psnr < 100 {
+		t.Fatalf("PSNR %g", psnr)
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dct"
+	"repro/internal/tensor"
+)
+
+// Compressor is a compiled DCT+Chop compressor for a fixed input
+// resolution. Mirroring the accelerators' compile-time constraints
+// (§3.1 "Tensor Sizes"), the fused LHS/RHS matrices — and for SG the
+// gather indices — are precomputed in NewCompressor and the resolution
+// cannot vary afterwards; only the batch and channel dimensions are
+// free, because they batch identical plane-level products.
+type Compressor struct {
+	cfg Config
+	n   int // full input resolution (images are n×n)
+
+	// Chunk-level compiled state; chunk resolution is n/s.
+	chunkN int
+	m      int            // compressed plane width: CF·chunkN/blocksize
+	lhs    *tensor.Tensor // M·T_L, m×chunkN (compression left operand)
+	rhs    *tensor.Tensor // T_Lᵀ·Mᵀ = LHSᵀ, chunkN×m (compression right)
+	// Decompression operands. For the orthonormal DCT these alias
+	// rhs/lhs (the paper's Eq. 6 swap); for the non-orthogonal ZFP
+	// transform they are built from T_L⁻¹ instead of T_Lᵀ:
+	// A' = (T_L⁻¹·Mᵀ)·Y·(T_L⁻¹·Mᵀ)ᵀ.
+	dlhs *tensor.Tensor // chunkN×m (decompression left operand)
+	drhs *tensor.Tensor // m×chunkN (decompression right operand)
+
+	// SG state: flat per-plane indices of the retained triangle cells in
+	// the m×m chopped plane, precomputed at compile time (§3.5.2: "the
+	// indices can be computed at compile time and need not be stored").
+	triIdx []int
+}
+
+// NewCompressor compiles a compressor for n×n inputs under cfg.
+func NewCompressor(cfg Config, n int) (*Compressor, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	bs := cfg.blockSize()
+	chunkN := n / cfg.Serialization
+	nblks := chunkN / bs
+	c := &Compressor{
+		cfg:    cfg,
+		n:      n,
+		chunkN: chunkN,
+		m:      cfg.ChopFactor * nblks,
+	}
+	mask := dct.ChopMask(chunkN, cfg.ChopFactor, bs)
+	tl := dct.BlockDiag(cfg.Transform.Matrix(), nblks)
+	c.lhs = tensor.MatMul(mask, tl)
+	c.rhs = c.lhs.Transpose()
+	if cfg.Transform == TransformDCT8 {
+		// Orthonormal transform: T_L⁻¹ = T_Lᵀ, so decompression reuses
+		// the compression operands swapped — the paper's formulation.
+		c.dlhs = c.rhs
+		c.drhs = c.lhs
+	} else {
+		inv, err := tensor.Inverse(cfg.Transform.Matrix())
+		if err != nil {
+			return nil, fmt.Errorf("core: transform not invertible: %w", err)
+		}
+		c.dlhs = tensor.MatMul(dct.BlockDiag(inv, nblks), mask.Transpose())
+		c.drhs = c.dlhs.Transpose()
+	}
+	if cfg.Mode == ModeSG {
+		c.triIdx = triangleFlatIndices(cfg.ChopFactor, nblks)
+	}
+	return c, nil
+}
+
+// triangleFlatIndices returns the flat offsets, within an m×m chopped
+// plane (m = cf·nblks), of the upper-left-triangle cells of every cf×cf
+// block, in block-major row-major order.
+func triangleFlatIndices(cf, nblks int) []int {
+	m := cf * nblks
+	tri := dct.TriangleIndices(cf, cf) // i*cf+j with i+j<cf
+	idx := make([]int, 0, nblks*nblks*len(tri))
+	for bi := 0; bi < nblks; bi++ {
+		for bj := 0; bj < nblks; bj++ {
+			for _, t := range tri {
+				i, j := t/cf, t%cf
+				idx = append(idx, (bi*cf+i)*m+(bj*cf+j))
+			}
+		}
+	}
+	return idx
+}
+
+// Config returns the compressor's configuration.
+func (c *Compressor) Config() Config { return c.cfg }
+
+// Resolution returns the compiled input resolution n.
+func (c *Compressor) Resolution() int { return c.n }
+
+// CompressedPlaneShape reports the per-chunk compressed layout: for chop
+// mode an m×m matrix, for SG a flat vector of triangle values.
+func (c *Compressor) CompressedPlaneShape() []int {
+	if c.cfg.Mode == ModeSG {
+		return []int{len(c.triIdx)}
+	}
+	return []int{c.m, c.m}
+}
+
+// LHS exposes the fused compression matrix (read-only by convention);
+// the accelerator graph builder ships it to devices as a constant.
+func (c *Compressor) LHS() *tensor.Tensor { return c.lhs }
+
+// RHS exposes the fused decompression-side matrix.
+func (c *Compressor) RHS() *tensor.Tensor { return c.rhs }
+
+// TriangleIndices exposes the SG gather indices (nil in chop mode).
+func (c *Compressor) TriangleIndices() []int { return c.triIdx }
+
+// Compress compresses a [BD, C, n, n] batch. For s=1 this is exactly the
+// paper's two batched matmuls; for s>1 the s×s spatial chunks are
+// compressed serially (Fig. 5), each with the smaller chunk-level
+// matrices.
+func (c *Compressor) Compress(x *tensor.Tensor) (*Compressed, error) {
+	if err := c.checkInput(x); err != nil {
+		return nil, err
+	}
+	s := c.cfg.Serialization
+	var chunks []*tensor.Tensor
+	if s == 1 {
+		chunks = []*tensor.Tensor{c.compressChunk(x)}
+	} else {
+		// Serial by design: the point of the optimization is that only
+		// one chunk's working set is resident at a time.
+		chunks = make([]*tensor.Tensor, 0, s*s)
+		for _, sub := range tensor.SpatialChunk(x, s) {
+			chunks = append(chunks, c.compressChunk(sub))
+		}
+	}
+	return &Compressed{
+		Config:    c.cfg,
+		BatchSize: x.Dim(0),
+		Channels:  x.Dim(1),
+		N:         c.n,
+		Chunks:    chunks,
+	}, nil
+}
+
+// compressChunk runs Y = LHS·A·RHS on one [BD, C, cn, cn] chunk, then in
+// SG mode gathers the triangle payload.
+func (c *Compressor) compressChunk(x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.BatchedMatMul(tensor.BatchedMatMulLeft(c.lhs, x), c.rhs)
+	if c.cfg.Mode != ModeSG {
+		return y
+	}
+	bd, ch := y.Dim(0), y.Dim(1)
+	flat := y.Reshape(bd, ch, c.m*c.m)
+	return tensor.GatherLast(flat, c.triIdx)
+}
+
+// Decompress reconstructs a [BD, C, n, n] batch from compressed form.
+func (c *Compressor) Decompress(y *Compressed) (*tensor.Tensor, error) {
+	if err := c.checkCompressed(y); err != nil {
+		return nil, err
+	}
+	s := c.cfg.Serialization
+	if s == 1 {
+		return c.decompressChunk(y.Chunks[0]), nil
+	}
+	out := make([]*tensor.Tensor, len(y.Chunks))
+	for i, chunk := range y.Chunks {
+		out[i] = c.decompressChunk(chunk)
+	}
+	return tensor.SpatialUnchunk(out, s), nil
+}
+
+func (c *Compressor) decompressChunk(y *tensor.Tensor) *tensor.Tensor {
+	if c.cfg.Mode == ModeSG {
+		bd, ch := y.Dim(0), y.Dim(1)
+		restored := tensor.ScatterLast(y, c.triIdx, c.m*c.m)
+		y = restored.Reshape(bd, ch, c.m, c.m)
+	}
+	return tensor.BatchedMatMul(tensor.BatchedMatMulLeft(c.dlhs, y), c.drhs)
+}
+
+// RoundTrip compresses then decompresses x, returning the reconstruction —
+// the exact operation the training harness applies to each batch.
+func (c *Compressor) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, err := c.Compress(x)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompress(y)
+}
+
+func (c *Compressor) checkInput(x *tensor.Tensor) error {
+	if x.Dims() != 4 {
+		return fmt.Errorf("core: input must be [BD,C,n,n], got %v", x.Shape())
+	}
+	if x.Dim(2) != c.n || x.Dim(3) != c.n {
+		return fmt.Errorf("core: input resolution %dx%d does not match compiled resolution %d (tensor sizes are fixed at compile time)", x.Dim(2), x.Dim(3), c.n)
+	}
+	return nil
+}
+
+func (c *Compressor) checkCompressed(y *Compressed) error {
+	if y.Config != c.cfg {
+		return fmt.Errorf("core: compressed config %v does not match compressor %v", y.Config, c.cfg)
+	}
+	if y.N != c.n {
+		return fmt.Errorf("core: compressed resolution %d does not match compiled resolution %d", y.N, c.n)
+	}
+	s := c.cfg.Serialization
+	if len(y.Chunks) != s*s {
+		return fmt.Errorf("core: compressed has %d chunks, want %d", len(y.Chunks), s*s)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzReadCompressed hardens the payload deserializer against arbitrary
+// bytes: it must either return an error or a structurally sound payload,
+// never panic or allocate absurdly.
+func FuzzReadCompressed(f *testing.F) {
+	// Seed with a valid payload and some mutations.
+	comp, err := NewCompressor(Config{ChopFactor: 3, Serialization: 1}, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := tensor.NewRNG(1)
+	y, err := comp.Compress(r.Uniform(-1, 1, 1, 2, 16, 16))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := y.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x43, 0x54, 0x43})
+	truncatedHeader := append([]byte(nil), valid[:16]...)
+	f.Add(truncatedHeader)
+	corrupted := append([]byte(nil), valid...)
+	corrupted[9] = 0xFF
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCompressed(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed payload must be internally consistent.
+		if len(c.Chunks) == 0 {
+			t.Fatal("parsed payload with no chunks")
+		}
+		for _, chunk := range c.Chunks {
+			if chunk.Len() < 0 {
+				t.Fatal("negative chunk size")
+			}
+		}
+	})
+}

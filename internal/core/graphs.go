@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BuildCompressGraph lowers this compressor's compression pass to the
+// static graph IR for a [bd, channels, n/s, n/s] chunk. With s=1 the
+// graph covers whole samples and is issued once per batch; with s>1 the
+// harness issues it s² times, once per spatial chunk, which is exactly
+// the partial-serialization execution model (§3.5.1).
+//
+// The graph is the paper's final PyTorch form verbatim:
+//
+//	Y = torch.matmul(LHS, torch.matmul(A, RHS))
+//
+// with LHS/RHS embedded as compile-time constants, plus the gather stage
+// in SG mode.
+func (c *Compressor) BuildCompressGraph(bd, channels int) (*graph.Graph, error) {
+	if bd <= 0 || channels <= 0 {
+		return nil, fmt.Errorf("core: graph dims must be positive, got bd=%d channels=%d", bd, channels)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("compress-%s-n%d", c.cfg, c.n))
+	a := b.Input("A", bd, channels, c.chunkN, c.chunkN)
+	lhs := b.Const("LHS", c.lhs)
+	rhs := b.Const("RHS", c.rhs)
+	y := b.MatMulRight(b.MatMulLeft(lhs, a), rhs)
+	if c.cfg.Mode == ModeSG {
+		flat := b.Reshape(y, bd, channels, c.m*c.m)
+		y = b.Gather(flat, c.triIdx)
+	}
+	b.Output(y)
+	return b.Finish()
+}
+
+// BuildDecompressGraph lowers the decompression pass:
+//
+//	A' = torch.matmul(RHS, torch.matmul(Y, LHS))
+//
+// preceded by the scatter stage in SG mode.
+func (c *Compressor) BuildDecompressGraph(bd, channels int) (*graph.Graph, error) {
+	if bd <= 0 || channels <= 0 {
+		return nil, fmt.Errorf("core: graph dims must be positive, got bd=%d channels=%d", bd, channels)
+	}
+	b := graph.NewBuilder(fmt.Sprintf("decompress-%s-n%d", c.cfg, c.n))
+	var y *graph.Node
+	if c.cfg.Mode == ModeSG {
+		in := b.Input("Y", bd, channels, len(c.triIdx))
+		y = b.Reshape(b.Scatter(in, c.triIdx, c.m*c.m), bd, channels, c.m, c.m)
+	} else {
+		y = b.Input("Y", bd, channels, c.m, c.m)
+	}
+	dlhs := b.Const("DLHS", c.dlhs)
+	drhs := b.Const("DRHS", c.drhs)
+	b.Output(b.MatMulRight(b.MatMulLeft(dlhs, y), drhs))
+	return b.Finish()
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dct"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func zfpCfg(cf int) Config {
+	return Config{ChopFactor: cf, Serialization: 1, Transform: TransformZFP4}
+}
+
+func TestZFPTransformMatrixInvertible(t *testing.T) {
+	l := dct.ZFPBlockTransform()
+	inv, err := tensor.Inverse(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MatMul(l, inv).MaxAbsDiff(tensor.Eye(4)); d > 1e-5 {
+		t.Fatalf("L·L⁻¹ deviates from I by %g", d)
+	}
+	// The defining property that forces the dlhs/drhs split: the ZFP
+	// transform is NOT orthogonal.
+	if tensor.MatMul(l, l.Transpose()).MaxAbsDiff(tensor.Eye(4)) < 1e-3 {
+		t.Fatal("ZFP transform unexpectedly orthogonal — the DCT path would suffice")
+	}
+}
+
+func TestZFPTransformDCIsMean(t *testing.T) {
+	// First row of L is [1/4,...]: the DC output of L·a is the mean ×1.
+	l := dct.ZFPBlockTransform()
+	a := tensor.FromSlice([]float32{1, 2, 3, 6}, 4, 1)
+	d := tensor.MatMul(l, a)
+	if math.Abs(float64(d.At2(0, 0))-3) > 1e-6 {
+		t.Fatalf("DC = %g, want mean 3", d.At2(0, 0))
+	}
+}
+
+func TestZFPVariantValidation(t *testing.T) {
+	// Block size 4: CF ≤ 4, resolution multiple of 4.
+	if err := zfpCfg(5).Validate(32); err == nil {
+		t.Fatal("CF=5 must be rejected at block size 4")
+	}
+	if err := zfpCfg(3).Validate(30); err == nil {
+		t.Fatal("resolution 30 must be rejected")
+	}
+	if err := zfpCfg(3).Validate(28); err != nil {
+		t.Fatalf("28 is a multiple of 4: %v", err)
+	}
+	if (Config{ChopFactor: 2, Serialization: 1, Transform: TransformKind(9)}).Validate(32) == nil {
+		t.Fatal("unknown transform must be rejected")
+	}
+}
+
+func TestZFPVariantRatio(t *testing.T) {
+	// CR = 16/CF² at block size 4.
+	want := map[int]float64{1: 16, 2: 4, 3: 16.0 / 9, 4: 1}
+	for cf, w := range want {
+		if got := zfpCfg(cf).Ratio(); math.Abs(got-w) > 1e-9 {
+			t.Errorf("CF=%d ratio %g, want %g", cf, got, w)
+		}
+	}
+}
+
+func TestZFPVariantLosslessAtFullChop(t *testing.T) {
+	// CF=4 keeps every coefficient; with the exact inverse the round
+	// trip is identity up to float32 precision.
+	c, err := NewCompressor(zfpCfg(4), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(3)
+	x := r.Uniform(-1, 1, 2, 3, 32, 32)
+	back, err := c.RoundTrip(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := back.MaxAbsDiff(x); d > 1e-4 {
+		t.Fatalf("ZFP4 CF=4 round-trip error %g", d)
+	}
+}
+
+func TestZFPVariantQualityOrdering(t *testing.T) {
+	r := tensor.NewRNG(5)
+	x := smoothBatch(r, 2, 1, 32)
+	prev := -math.MaxFloat64
+	for cf := 1; cf <= 4; cf++ {
+		c, err := NewCompressor(zfpCfg(cf), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.RoundTrip(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := metrics.PSNR(x, back)
+		if p < prev-1e-6 {
+			t.Fatalf("PSNR not monotone in CF: cf=%d %g < %g", cf, p, prev)
+		}
+		prev = p
+	}
+	if prev < 100 {
+		t.Fatalf("CF=4 PSNR %g too low for lossless-up-to-float32", prev)
+	}
+}
+
+func TestZFPVariantMatchesBlockwiseReference(t *testing.T) {
+	// The fused pipeline must equal per-block L·A·Lᵀ with the corner
+	// chopped and the exact inverse applied.
+	cfg := zfpCfg(2)
+	c, err := NewCompressor(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(7)
+	x := r.Uniform(-1, 1, 1, 1, 8, 8)
+	y, err := c.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := dct.ZFPBlockTransform()
+	lt := l.Transpose()
+	plane := x.Index(0).Index(0)
+	comp := y.Chunks[0].Index(0).Index(0)
+	for bi := 0; bi < 2; bi++ {
+		for bj := 0; bj < 2; bj++ {
+			block := tensor.New(4, 4)
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					block.Set2(plane.At2(bi*4+i, bj*4+j), i, j)
+				}
+			}
+			d := tensor.MatMul(tensor.MatMul(l, block), lt)
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					got := comp.At2(bi*2+i, bj*2+j)
+					want := d.At2(i, j)
+					if math.Abs(float64(got-want)) > 1e-5 {
+						t.Fatalf("block (%d,%d) coeff (%d,%d): %g vs %g", bi, bj, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZFPVariantGraphsExecute(t *testing.T) {
+	// The variant stays matmul-only, so it must lower to graphs that
+	// compile like the DCT version (the point of the future-work item).
+	c, err := NewCompressor(zfpCfg(2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := c.BuildCompressGraph(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := c.BuildDecompressGraph(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(9)
+	x := r.Uniform(-1, 1, 2, 3, 16, 16)
+	want, err := c.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := cg.Execute(map[string]*tensor.Tensor{"A": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[0].Equal(want.Chunks[0]) {
+		t.Fatal("compress graph disagrees with host compressor")
+	}
+	wantBack, err := c.Decompress(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backOuts, err := dg.Execute(map[string]*tensor.Tensor{"Y": want.Chunks[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !backOuts[0].Equal(wantBack) {
+		t.Fatal("decompress graph disagrees with host compressor")
+	}
+}
+
+func TestZFPVariantWithSerializationAndSG(t *testing.T) {
+	r := tensor.NewRNG(11)
+	x := r.Uniform(-1, 1, 1, 2, 32, 32)
+	// PS: s=2 must reconstruct identically to s=1 (aligned chunks).
+	base, err := NewCompressor(zfpCfg(2), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewCompressor(Config{ChopFactor: 2, Serialization: 2, Transform: TransformZFP4}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := base.RoundTrip(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ps.RoundTrip(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.MaxAbsDiff(b); d > 1e-4 {
+		t.Fatalf("ZFP4 PS deviates by %g", d)
+	}
+	// SG: triangle retention with block size 4.
+	sg, err := NewCompressor(Config{ChopFactor: 3, Mode: ModeSG, Serialization: 1, Transform: TransformZFP4}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := sg.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := (32 / 4) * (32 / 4) * dct.TriangleCount(3)
+	if y.Chunks[0].Dim(2) != wantLen {
+		t.Fatalf("SG payload %d, want %d", y.Chunks[0].Dim(2), wantLen)
+	}
+	if _, err := sg.Decompress(y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTVsZFPTransformFidelity(t *testing.T) {
+	// On smooth data at matched CR=4, both transforms should land in a
+	// sane PSNR band; record the comparison direction (the future-work
+	// hypothesis is that ZFP's transform suits general floating-point
+	// data, DCT suits images).
+	r := tensor.NewRNG(13)
+	x := smoothBatch(r, 2, 1, 32)
+	dctC, err := NewCompressor(Config{ChopFactor: 4, Serialization: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zfpC, err := NewCompressor(zfpCfg(2), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outD, err := dctC.RoundTrip(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outZ, err := zfpC.RoundTrip(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, pz := metrics.PSNR(x, outD), metrics.PSNR(x, outZ)
+	if pd < 20 || pz < 20 {
+		t.Fatalf("matched-CR PSNR too low: DCT %g, ZFP %g", pd, pz)
+	}
+}

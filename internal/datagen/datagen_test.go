@@ -1,0 +1,195 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func TestTable2(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 4 {
+		t.Fatalf("Table2 has %d rows, want 4", len(rows))
+	}
+	if rows[0].Name != "ILSVRC 2012-17" || rows[3].Task != "Pixel Segmentation" {
+		t.Fatalf("Table2 content wrong: %+v", rows)
+	}
+}
+
+func TestClassifyDeterministic(t *testing.T) {
+	a, la := NewClassify(42, 32, 10).Batch(8)
+	b, lb := NewClassify(42, 32, 10).Batch(8)
+	if !a.Equal(b) {
+		t.Fatal("same seed must reproduce images")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed must reproduce labels")
+		}
+	}
+}
+
+func TestClassifyShapesAndLabels(t *testing.T) {
+	g := NewClassify(1, 32, 10)
+	x, labels := g.Batch(20)
+	shape := x.Shape()
+	if shape[0] != 20 || shape[1] != 3 || shape[2] != 32 || shape[3] != 32 {
+		t.Fatalf("batch shape %v", shape)
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("only %d distinct labels in 20 samples", len(seen))
+	}
+	if x.Min() < -1 || x.Max() > 2 {
+		t.Fatalf("pixel range [%g, %g] implausible", x.Min(), x.Max())
+	}
+}
+
+func TestClassifyClassesAreSeparable(t *testing.T) {
+	// Same-class samples must be closer (on average) than cross-class
+	// samples in raw pixel space — a proxy for learnability.
+	g := NewClassify(7, 32, 10)
+	byClass := map[int][]*tensor.Tensor{}
+	for len(byClass[0]) < 3 || len(byClass[1]) < 3 {
+		x, labels := g.Batch(20)
+		for i, l := range labels {
+			if l <= 1 {
+				byClass[l] = append(byClass[l], x.Index(i).Clone())
+			}
+		}
+	}
+	same := metrics.MSE(byClass[0][0], byClass[0][1]) + metrics.MSE(byClass[1][0], byClass[1][1])
+	cross := metrics.MSE(byClass[0][0], byClass[1][0]) + metrics.MSE(byClass[0][1], byClass[1][1])
+	if same >= cross {
+		t.Fatalf("same-class MSE %g not below cross-class %g", same, cross)
+	}
+}
+
+func TestDenoisePairs(t *testing.T) {
+	g := NewDenoise(3, 64)
+	noisy, clean := g.Batch(4)
+	if !noisy.SameShape(clean) {
+		t.Fatal("noisy/clean shapes differ")
+	}
+	if noisy.Equal(clean) {
+		t.Fatal("noise must actually be added")
+	}
+	// The clean lattice is bounded; noise spreads the range.
+	if clean.Max() > 1.2 || clean.Min() < -0.2 {
+		t.Fatalf("clean range [%g,%g]", clean.Min(), clean.Max())
+	}
+	mse := metrics.MSE(noisy, clean)
+	if mse < 0.01 || mse > 0.3 {
+		t.Fatalf("noise MSE %g outside plausible band", mse)
+	}
+}
+
+func TestDenoiseNoiseIsHighFrequency(t *testing.T) {
+	// The injected noise must be more damaged by DCT+Chop than the
+	// lattice signal is — the property behind the paper's observation
+	// that compression *improves* em_denoise loss.
+	g := NewDenoise(5, 32)
+	noisy, clean := g.Batch(4)
+	c, err := core.NewCompressor(core.Config{ChopFactor: 4, Serialization: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtNoisy, err := c.RoundTrip(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compressing the noisy image must move it *closer* to the clean
+	// signal: chop removes the high-frequency noise band.
+	if metrics.MSE(rtNoisy, clean) >= metrics.MSE(noisy, clean) {
+		t.Fatalf("chop did not denoise: MSE after %g, before %g",
+			metrics.MSE(rtNoisy, clean), metrics.MSE(noisy, clean))
+	}
+}
+
+func TestOpticalDamage(t *testing.T) {
+	g := NewOptical(9, 64)
+	healthy := g.Batch(3)
+	damaged := NewOptical(9, 64).DamagedBatch(3)
+	if healthy.SameShape(damaged) == false {
+		t.Fatal("shape mismatch")
+	}
+	// Damage darkens: damaged mean below healthy mean.
+	if damaged.Mean() >= healthy.Mean() {
+		t.Fatalf("damaged mean %g not below healthy %g", damaged.Mean(), healthy.Mean())
+	}
+	// Beam is centered: central pixel much brighter than corners.
+	b := healthy.Index(0).Index(0)
+	if b.At2(32, 32) < 4*b.At2(0, 0)+0.01 {
+		t.Fatalf("beam profile implausible: center %g corner %g", b.At2(32, 32), b.At2(0, 0))
+	}
+}
+
+func TestCloudSegMasksMatchScenes(t *testing.T) {
+	g := NewCloudSeg(11, 32, 3)
+	scenes, masks := g.Batch(6)
+	if scenes.Dim(1) != 3 || masks.Dim(1) != 1 {
+		t.Fatalf("shapes %v / %v", scenes.Shape(), masks.Shape())
+	}
+	// Masks are binary.
+	for _, v := range masks.Data() {
+		if v != 0 && v != 1 {
+			t.Fatalf("mask value %g not binary", v)
+		}
+	}
+	// Cloud pixels are brighter than clear pixels in every channel.
+	var cloudSum, clearSum float64
+	var cloudN, clearN int
+	for b := 0; b < 6; b++ {
+		for i := 0; i < 32; i++ {
+			for j := 0; j < 32; j++ {
+				v := float64(scenes.At4(b, 0, i, j))
+				if masks.At4(b, 0, i, j) == 1 {
+					cloudSum += v
+					cloudN++
+				} else {
+					clearSum += v
+					clearN++
+				}
+			}
+		}
+	}
+	if cloudN == 0 || clearN == 0 {
+		t.Fatal("degenerate masks: need both cloud and clear pixels")
+	}
+	if cloudSum/float64(cloudN) <= clearSum/float64(clearN) {
+		t.Fatal("cloud pixels must be brighter than clear pixels")
+	}
+	// Cloud fraction plausible (not empty, not everything).
+	frac := float64(cloudN) / float64(cloudN+clearN)
+	if frac < 0.02 || frac > 0.9 {
+		t.Fatalf("cloud fraction %g implausible", frac)
+	}
+}
+
+func TestGeneratorsProduceFiniteValues(t *testing.T) {
+	check := func(name string, ts ...*tensor.Tensor) {
+		for _, x := range ts {
+			for _, v := range x.Data() {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s produced non-finite value", name)
+				}
+			}
+		}
+	}
+	x, _ := NewClassify(1, 16, 10).Batch(2)
+	check("classify", x)
+	n, c := NewDenoise(1, 16).Batch(2)
+	check("denoise", n, c)
+	check("optical", NewOptical(1, 16).Batch(2), NewOptical(1, 16).DamagedBatch(2))
+	s, m := NewCloudSeg(1, 16, 9).Batch(2)
+	check("cloudseg", s, m)
+}

@@ -1,0 +1,58 @@
+package dct
+
+import "repro/internal/tensor"
+
+// ZFPBlockSize is the ZFP decorrelating transform's block edge.
+const ZFPBlockSize = 4
+
+// ZFPBlockTransform returns the 4×4 ZFP decorrelating transform
+// (Lindstrom, "Fixed-Rate Compressed Floating-Point Arrays", TVCG 2014):
+//
+//	L = 1/16 · ⎡ 4  4  4  4⎤
+//	           ⎢ 5  1 -1 -5⎥
+//	           ⎢-4  4  4 -4⎥
+//	           ⎣-2  6 -6  2⎦
+//
+// Unlike DCT-II it is *not* orthogonal (L⁻¹ ≠ Lᵀ), but it is linear, so
+// it slots into the same fused two-matmul compressor — the "ZFP block
+// transform instead of DCT-II" variant the paper's future-work section
+// proposes for general scientific floating-point data. The compressor
+// computes L⁻¹ once at compile time via tensor.Inverse.
+func ZFPBlockTransform() *tensor.Tensor {
+	v := []float32{
+		4, 4, 4, 4,
+		5, 1, -1, -5,
+		-4, 4, 4, -4,
+		-2, 6, -6, 2,
+	}
+	t := tensor.FromSlice(v, 4, 4)
+	t.ScaleInPlace(1.0 / 16)
+	return t
+}
+
+// BlockDiag generalizes BlockDiagTransform: nblks copies of an
+// arbitrary b×b matrix placed along the diagonal of a zero matrix.
+func BlockDiag(m *tensor.Tensor, nblks int) *tensor.Tensor {
+	b := m.Dim(0)
+	n := b * nblks
+	out := tensor.New(n, n)
+	for blk := 0; blk < nblks; blk++ {
+		off := blk * b
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				out.Set2(m.At2(i, j), off+i, off+j)
+			}
+		}
+	}
+	return out
+}
+
+// DenseCompressFLOPs is the dense-matmul operation count of the fused
+// two-product pipeline Y = LHS·A·RHS for an n×n plane chopped to m×m:
+// 2mn² + 2m²n. It generalizes Eq. 5 to transforms whose block-diagonal
+// sparsity the device compilers do not exploit (the ZFP-transform
+// variant); for DCT-II at block size 8 use CompressFLOPs (Eq. 5).
+func DenseCompressFLOPs(n, m int) float64 {
+	nf, mf := float64(n), float64(m)
+	return 2*mf*nf*nf + 2*mf*mf*nf
+}

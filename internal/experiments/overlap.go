@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"repro/internal/accel"
+	"repro/internal/core"
+)
+
+// TrainingThroughput holds the paper's cited end-to-end training rates
+// (§4.2.2): "the CS-2 can process ≈205 samples per second during
+// training" and the SN30 "backward/forward pass throughput of ≈570
+// samples per second", both for ResNet34 on CIFAR10 batches of 100.
+var TrainingThroughput = map[string]float64{
+	"CS-2": 205,
+	"SN30": 570,
+}
+
+// OverlapRow quantifies whether decompression can hide inside the
+// training pipeline on one device: the §4.2.2 argument that "the
+// overhead of the compressor is masked in the dataflow pipeline"
+// requires decompression throughput ≥ the forward/backward throughput.
+type OverlapRow struct {
+	Device string
+	// DecompSamplesPerSec is the simulated decompression rate for
+	// CIFAR10-shaped batches (100×3×32×32, CF=5 as in the paper's
+	// accuracy sweet spot).
+	DecompSamplesPerSec float64
+	// TrainSamplesPerSec is the paper's cited training rate (0 when the
+	// paper gives none for this device).
+	TrainSamplesPerSec float64
+	// Ratio is decompression rate over training rate (0 when unknown).
+	Ratio float64
+	// Masked reports whether decompression outpaces training, i.e. the
+	// compressor never stalls the pipeline.
+	Masked bool
+	Err    string
+}
+
+// PipelineOverlap evaluates the masking argument on each device for the
+// paper's ResNet34/CIFAR10 scenario.
+func PipelineOverlap(devs []*accel.Device) []OverlapRow {
+	const batch, channels, n, cf = 100, 3, 32, 5
+	rows := make([]OverlapRow, 0, len(devs))
+	for _, d := range devs {
+		row := OverlapRow{Device: d.Name()}
+		m := Measure(d, core.Config{ChopFactor: cf, Serialization: 1}, Decompress, n, batch, channels)
+		if m.CompileErr != "" {
+			row.Err = m.CompileErr
+			rows = append(rows, row)
+			continue
+		}
+		row.DecompSamplesPerSec = float64(batch) / m.SimTime.Seconds()
+		if train, ok := TrainingThroughput[d.Name()]; ok {
+			row.TrainSamplesPerSec = train
+			row.Ratio = row.DecompSamplesPerSec / train
+			row.Masked = row.Ratio >= 1
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+)
+
+// Op selects the compressor direction under test.
+type Op string
+
+// Compress and Decompress are the two measured directions.
+const (
+	Compress   Op = "compress"
+	Decompress Op = "decompress"
+)
+
+// ThroughputRow is one point of Figs. 10–15/17: a (device, config,
+// workload) triple with its simulated time, or the compile error that
+// the paper's corresponding configuration also hits.
+type ThroughputRow struct {
+	Device     string
+	Op         Op
+	Config     core.Config
+	N          int
+	Batch      int
+	Channels   int
+	SimTime    time.Duration
+	Throughput float64 // GB/s over the uncompressed payload
+	CompileErr string  // non-empty when compilation failed
+}
+
+// PayloadBytes is the uncompressed batch footprint the paper's
+// throughput metric divides by.
+func (r ThroughputRow) PayloadBytes() int {
+	return 4 * r.Batch * r.Channels * r.N * r.N
+}
+
+// Measure compiles the configured compressor graph for one direction on
+// one device and returns its simulated execution. Partial serialization
+// issues the chunk graph s² times, serially (§3.5.1), so its time is
+// s² × the chunk-graph time.
+func Measure(dev *accel.Device, cfg core.Config, op Op, n, batch, channels int) ThroughputRow {
+	row := ThroughputRow{
+		Device: dev.Name(), Op: op, Config: cfg,
+		N: n, Batch: batch, Channels: channels,
+	}
+	comp, err := core.NewCompressor(cfg, n)
+	if err != nil {
+		row.CompileErr = err.Error()
+		return row
+	}
+	build := comp.BuildCompressGraph
+	if op == Decompress {
+		build = comp.BuildDecompressGraph
+	}
+	graph, err := build(batch, channels)
+	if err != nil {
+		row.CompileErr = err.Error()
+		return row
+	}
+	prog, err := dev.Compile(graph)
+	if err != nil {
+		row.CompileErr = err.Error()
+		return row
+	}
+	runs := cfg.Serialization * cfg.Serialization
+	row.SimTime = time.Duration(runs) * prog.Estimate().SimTime
+	if sec := row.SimTime.Seconds(); sec > 0 {
+		row.Throughput = float64(row.PayloadBytes()) / sec / 1e9
+	}
+	return row
+}
+
+// SweepResolution reproduces Figs. 10/11 (and 14 when given the GPU):
+// 100 three-channel samples, resolution swept over the paper's grid,
+// chop factor swept 2–7.
+func SweepResolution(devs []*accel.Device, op Op, resolutions, cfs []int) []ThroughputRow {
+	var rows []ThroughputRow
+	for _, d := range devs {
+		for _, cf := range cfs {
+			for _, n := range resolutions {
+				cfg := core.Config{ChopFactor: cf, Serialization: 1}
+				rows = append(rows, Measure(d, cfg, op, n, 100, 3))
+			}
+		}
+	}
+	return rows
+}
+
+// SweepBatch reproduces Figs. 12/13: 64×64 three-channel samples with
+// batch size swept over the paper's grid.
+func SweepBatch(devs []*accel.Device, op Op, batches, cfs []int) []ThroughputRow {
+	var rows []ThroughputRow
+	for _, d := range devs {
+		for _, cf := range cfs {
+			for _, bd := range batches {
+				cfg := core.Config{ChopFactor: cf, Serialization: 1}
+				rows = append(rows, Measure(d, cfg, op, 64, bd, 3))
+			}
+		}
+	}
+	return rows
+}
+
+// SweepPartialSerialization reproduces Fig. 15: decompression throughput
+// with s=2 on 100 three-channel 512×512 images, chop factor swept
+// 7 → 2 (the figure's x-axis order).
+func SweepPartialSerialization(devs []*accel.Device, cfs []int) []ThroughputRow {
+	var rows []ThroughputRow
+	for _, d := range devs {
+		for _, cf := range cfs {
+			cfg := core.Config{ChopFactor: cf, Serialization: 2}
+			rows = append(rows, Measure(d, cfg, Decompress, 512, 100, 3))
+		}
+	}
+	return rows
+}
+
+// SweepSG reproduces Fig. 17: DCT+Chop versus the scatter/gather
+// optimization for decompression of 100 three-channel 32×32 images on
+// the IPU.
+func SweepSG(dev *accel.Device, cfs []int) []ThroughputRow {
+	var rows []ThroughputRow
+	for _, cf := range cfs {
+		for _, mode := range []core.Mode{core.ModeChop, core.ModeSG} {
+			cfg := core.Config{ChopFactor: cf, Mode: mode, Serialization: 1}
+			rows = append(rows, Measure(dev, cfg, Decompress, 32, 100, 3))
+		}
+	}
+	return rows
+}

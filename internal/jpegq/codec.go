@@ -1,0 +1,203 @@
+package jpegq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dct"
+	"repro/internal/tensor"
+	"repro/internal/vle"
+)
+
+// Codec assembles the complete JPEG-style pipeline from this
+// repository's parts — level shift, 8×8 DCT-II, quality-scaled
+// quantization, zigzag, RLE+Huffman — as the host baseline behind the
+// paper's related work: Dodge & Karam [15] study exactly this codec's
+// quality factor against model accuracy, and §3.2 explains why its
+// encoding stage cannot run on the accelerators.
+//
+// Input batches are [BD, C, n, n] with pixel values in [0,1]; channel 0
+// quantizes with the luminance table, the rest with chrominance
+// (matching NonzeroHeatmaps). n must be a multiple of 8.
+type Codec struct {
+	// Quality is the JPEG quality factor in [1,100].
+	Quality int
+}
+
+// NewCodec returns a codec at the given quality factor.
+func NewCodec(quality int) (*Codec, error) {
+	if quality < 1 || quality > 100 {
+		return nil, fmt.Errorf("jpegq: quality %d outside [1,100]", quality)
+	}
+	return &Codec{Quality: quality}, nil
+}
+
+const codecMagic = 0x4A504751 // "JPGQ"
+
+// Compress encodes the batch, returning the byte stream.
+func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("jpegq: need [BD,C,n,n], got %v", x.Shape())
+	}
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%BlockSize != 0 || w%BlockSize != 0 {
+		return nil, fmt.Errorf("jpegq: %dx%d not a multiple of %d", h, w, BlockSize)
+	}
+	tables, err := c.tables(ch)
+	if err != nil {
+		return nil, err
+	}
+	order := dct.ZigZag(BlockSize)
+	block := tensor.New(BlockSize, BlockSize)
+	var blocks [][]int
+	for s := 0; s < bd; s++ {
+		for cc := 0; cc < ch; cc++ {
+			for bi := 0; bi < h; bi += BlockSize {
+				for bj := 0; bj < w; bj += BlockSize {
+					for i := 0; i < BlockSize; i++ {
+						for j := 0; j < BlockSize; j++ {
+							block.Set2(x.At4(s, cc, bi+i, bj+j)*255-128, i, j)
+						}
+					}
+					q := QuantizeBlock(dct.Apply2D(block), tables[cc])
+					zz := make([]int, len(order))
+					for k, ix := range order {
+						zz[k] = q[ix]
+					}
+					blocks = append(blocks, zz)
+				}
+			}
+		}
+	}
+	body, err := vle.Encode(blocks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 24, 24+len(body))
+	binary.LittleEndian.PutUint32(out[0:], codecMagic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(c.Quality))
+	binary.LittleEndian.PutUint32(out[8:], uint32(bd))
+	binary.LittleEndian.PutUint32(out[12:], uint32(ch))
+	binary.LittleEndian.PutUint32(out[16:], uint32(h))
+	binary.LittleEndian.PutUint32(out[20:], uint32(w))
+	return append(out, body...), nil
+}
+
+// Decompress reconstructs a batch from Compress output.
+func Decompress(data []byte) (*tensor.Tensor, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("jpegq: truncated header")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != codecMagic {
+		return nil, fmt.Errorf("jpegq: bad magic")
+	}
+	quality := int(binary.LittleEndian.Uint32(data[4:]))
+	bd := int(binary.LittleEndian.Uint32(data[8:]))
+	ch := int(binary.LittleEndian.Uint32(data[12:]))
+	h := int(binary.LittleEndian.Uint32(data[16:]))
+	w := int(binary.LittleEndian.Uint32(data[20:]))
+	const maxDim = 1 << 14
+	if quality < 1 || quality > 100 || bd < 1 || ch < 1 || h < 1 || w < 1 ||
+		bd > maxDim || ch > maxDim || h > maxDim || w > maxDim || h%BlockSize != 0 || w%BlockSize != 0 {
+		return nil, fmt.Errorf("jpegq: implausible header (q=%d %dx%dx%dx%d)", quality, bd, ch, h, w)
+	}
+	c := &Codec{Quality: quality}
+	tables, err := c.tables(ch)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := vle.Decode(data[24:])
+	if err != nil {
+		return nil, err
+	}
+	blocksPerPlane := (h / BlockSize) * (w / BlockSize)
+	if len(blocks) != bd*ch*blocksPerPlane {
+		return nil, fmt.Errorf("jpegq: %d blocks, want %d", len(blocks), bd*ch*blocksPerPlane)
+	}
+	order := dct.ZigZag(BlockSize)
+	out := tensor.New(bd, ch, h, w)
+	ix := 0
+	for s := 0; s < bd; s++ {
+		for cc := 0; cc < ch; cc++ {
+			for bi := 0; bi < h; bi += BlockSize {
+				for bj := 0; bj < w; bj += BlockSize {
+					zz := blocks[ix]
+					ix++
+					if len(zz) != BlockSize*BlockSize {
+						return nil, fmt.Errorf("jpegq: block size %d", len(zz))
+					}
+					var q [64]int
+					for k, oix := range order {
+						q[oix] = zz[k]
+					}
+					rec := dct.Invert2D(DequantizeBlock(q, tables[cc]))
+					for i := 0; i < BlockSize; i++ {
+						for j := 0; j < BlockSize; j++ {
+							v := (rec.At2(i, j) + 128) / 255
+							out.Set4(v, s, cc, bi+i, bj+j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RoundTrip compresses and decompresses the batch, returning the
+// reconstruction and compressed size.
+func (c *Codec) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	data, err := c.Compress(x)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := Decompress(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(data), nil
+}
+
+// tables builds per-channel quantization tables at the codec quality.
+func (c *Codec) tables(channels int) ([][64]int, error) {
+	out := make([][64]int, channels)
+	for cc := range out {
+		base := luminance
+		if cc > 0 {
+			base = chrominance
+		}
+		t, err := ScaleTable(base, c.Quality)
+		if err != nil {
+			return nil, err
+		}
+		out[cc] = t
+	}
+	return out, nil
+}
+
+// PSNRAtQuality is a convenience for quality-sweep studies: compress at
+// the given quality and report (PSNR, compression ratio).
+func PSNRAtQuality(x *tensor.Tensor, quality int) (psnr, ratio float64, err error) {
+	c, err := NewCodec(quality)
+	if err != nil {
+		return 0, 0, err
+	}
+	out, bytes, err := c.RoundTrip(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	mse := 0.0
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		d := float64(xd[i]) - float64(od[i])
+		mse += d * d
+	}
+	mse /= float64(len(xd))
+	if mse == 0 {
+		psnr = math.Inf(1)
+	} else {
+		psnr = -10 * math.Log10(mse)
+	}
+	return psnr, float64(x.SizeBytes()) / float64(bytes), nil
+}

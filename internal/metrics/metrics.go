@@ -1,0 +1,103 @@
+// Package metrics provides the data-fidelity and model-quality measures
+// used across the evaluation: MSE, RMSE, PSNR, maximum pointwise error,
+// a windowless SSIM variant, and classification accuracy.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MSE returns the mean squared error between a and b.
+func MSE(a, b *tensor.Tensor) float64 {
+	if !a.SameShape(b) {
+		panic("metrics: MSE shape mismatch")
+	}
+	var s float64
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		d := float64(ad[i]) - float64(bd[i])
+		s += d * d
+	}
+	return s / float64(len(ad))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(a, b *tensor.Tensor) float64 { return math.Sqrt(MSE(a, b)) }
+
+// MaxError returns the largest absolute pointwise error.
+func MaxError(a, b *tensor.Tensor) float64 { return a.MaxAbsDiff(b) }
+
+// PSNR returns the peak signal-to-noise ratio in dB, using the dynamic
+// range of the reference a. Identical tensors yield +Inf.
+func PSNR(a, b *tensor.Tensor) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	peak := float64(a.Max() - a.Min())
+	if peak == 0 {
+		peak = 1
+	}
+	return 20*math.Log10(peak) - 10*math.Log10(mse)
+}
+
+// SSIM returns a global (single-window) structural-similarity index in
+// [-1, 1]; 1 means structurally identical. The windowless form is
+// sufficient for comparing whole reconstructed planes.
+func SSIM(a, b *tensor.Tensor) float64 {
+	if !a.SameShape(b) {
+		panic("metrics: SSIM shape mismatch")
+	}
+	n := float64(a.Len())
+	muA, muB := a.Mean(), b.Mean()
+	var varA, varB, cov float64
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		da := float64(ad[i]) - muA
+		db := float64(bd[i]) - muB
+		varA += da * da
+		varB += db * db
+		cov += da * db
+	}
+	varA /= n
+	varB /= n
+	cov /= n
+	l := float64(a.Max() - a.Min())
+	if l == 0 {
+		l = 1
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+	return ((2*muA*muB + c1) * (2*cov + c2)) /
+		((muA*muA + muB*muB + c1) * (varA + varB + c2))
+}
+
+// Accuracy returns the fraction of rows of logits (shape [BD, classes])
+// whose argmax equals the integer label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	bd := logits.Dim(0)
+	if bd != len(labels) {
+		panic("metrics: Accuracy batch/label length mismatch")
+	}
+	correct := 0
+	for i := 0; i < bd; i++ {
+		if logits.Index(i).Argmax() == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(bd)
+}
+
+// PercentDiff returns 100·(v−base)/|base|, the paper's Fig. 8/9/16
+// y-axis (percent difference from the no-compression baseline).
+func PercentDiff(v, base float64) float64 {
+	if base == 0 {
+		if v == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (v - base) / math.Abs(base)
+}

@@ -1,0 +1,109 @@
+// Package models builds the four benchmark networks of Table 3 —
+// classify (residual CNN à la ResNet34), em_denoise (deep
+// encoder-decoder), optical_damage (autoencoder) and slstr_cloud (UNet)
+// — scaled to widths that train on a CPU-only Go substrate. The
+// architectures keep the paper's topologies (residual blocks with
+// projection shortcuts, strided encoders with upsampling decoders, UNet
+// skip connections); DESIGN.md documents the width/epoch scaling.
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestConfig is a Table 3 row.
+type TestConfig struct {
+	Test         string
+	Dataset      string
+	Task         string
+	Network      string
+	SampleSize   string
+	BatchSize    int
+	LearningRate float64
+}
+
+// Table3 returns the paper's benchmark configurations.
+func Table3() []TestConfig {
+	return []TestConfig{
+		{"classify", "CIFAR10", "Classify images into 10 classes", "ResNet34", "3x32x32", 100, 0.001},
+		{"em_denoise", "em_graphene_sim", "Denoise electron micrographs", "Deep Encoder-Decoder", "1x256x256", 32, 0.0005},
+		{"optical_damage", "optical_damage_ds1", "Reconstruct laser optics images", "Autoencoder", "1x200x200", 2, 0.0005},
+		{"slstr_cloud", "cloud_slstr_ds1", "Identify pixels that are clouds", "UNet", "9x256x256", 4, 0.0005},
+	}
+}
+
+// basicBlock is a two-convolution residual block; stride > 1 downsamples
+// and adds a 1×1 projection shortcut, as in ResNet.
+func basicBlock(rng *tensor.RNG, name string, in, out, stride int) *nn.Residual {
+	body := nn.NewSequential(
+		nn.NewConv2d(rng, name+".c1", in, out, 3, stride, 1),
+		nn.NewBatchNorm2d(name+".bn1", out),
+		nn.NewReLU(),
+		nn.NewConv2d(rng, name+".c2", out, out, 3, 1, 1),
+		nn.NewBatchNorm2d(name+".bn2", out),
+	)
+	var proj *nn.Conv2d
+	if stride != 1 || in != out {
+		proj = nn.NewConv2d(rng, name+".proj", in, out, 1, stride, 0)
+	}
+	return nn.NewResidual(body, proj)
+}
+
+// NewResNetS builds the classify network: a scaled-down ResNet (stem +
+// three residual stages + global average pooling + linear head) for
+// 3×32×32 inputs and the given class count.
+func NewResNetS(rng *tensor.RNG, classes int) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewConv2d(rng, "stem", 3, 8, 3, 1, 1),
+		nn.NewBatchNorm2d("stem.bn", 8),
+		nn.NewReLU(),
+		basicBlock(rng, "s1", 8, 8, 1),
+		nn.NewReLU(),
+		basicBlock(rng, "s2", 8, 16, 2), // 16×16
+		nn.NewReLU(),
+		basicBlock(rng, "s3", 16, 32, 2), // 8×8
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewFlatten(),
+		nn.NewLinear(rng, "head", 32, classes),
+	)
+}
+
+// NewEncDec builds the em_denoise network: a deep encoder-decoder that
+// maps a noisy 1×n×n micrograph to its clean version.
+func NewEncDec(rng *tensor.RNG) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewConv2d(rng, "e1", 1, 8, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewMaxPool2d(2),
+		nn.NewConv2d(rng, "e2", 8, 16, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewMaxPool2d(2),
+		nn.NewConv2d(rng, "mid", 16, 16, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewUpsample2x(),
+		nn.NewConv2d(rng, "d2", 16, 8, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewUpsample2x(),
+		nn.NewConv2d(rng, "d1", 8, 1, 3, 1, 1),
+	)
+}
+
+// NewAutoencoder builds the optical_damage network: an autoencoder with
+// a spatial bottleneck, trained to reconstruct healthy beam images so
+// damaged inputs reconstruct poorly (high MSE flags damage).
+func NewAutoencoder(rng *tensor.RNG) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewConv2d(rng, "e1", 1, 8, 3, 2, 1), // n/2
+		nn.NewReLU(),
+		nn.NewConv2d(rng, "e2", 8, 4, 3, 2, 1), // n/4 bottleneck
+		nn.NewReLU(),
+		nn.NewUpsample2x(),
+		nn.NewConv2d(rng, "d2", 4, 8, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewUpsample2x(),
+		nn.NewConv2d(rng, "d1", 8, 1, 3, 1, 1),
+		nn.NewSigmoid(),
+	)
+}

@@ -1,0 +1,113 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// UNet is the slstr_cloud segmentation network: a two-level U-shaped
+// encoder-decoder with channel-concatenation skip connections, emitting
+// one logit per pixel. It implements nn.Layer, so it composes with the
+// same trainer as the sequential models.
+type UNet struct {
+	enc1, enc2, mid *nn.Sequential
+	pool1, pool2    *nn.MaxPool2d
+	up2, up1        *nn.Upsample2x
+	dec2, dec1      *nn.Sequential
+	head            *nn.Conv2d
+
+	c1, c2 int // skip channel widths
+}
+
+// NewUNet builds a UNet for inC input channels with base width w.
+func NewUNet(rng *tensor.RNG, inC, w int) *UNet {
+	u := &UNet{c1: w, c2: 2 * w}
+	u.enc1 = nn.NewSequential(nn.NewConv2d(rng, "u.e1", inC, w, 3, 1, 1), nn.NewReLU())
+	u.pool1 = nn.NewMaxPool2d(2)
+	u.enc2 = nn.NewSequential(nn.NewConv2d(rng, "u.e2", w, 2*w, 3, 1, 1), nn.NewReLU())
+	u.pool2 = nn.NewMaxPool2d(2)
+	u.mid = nn.NewSequential(nn.NewConv2d(rng, "u.mid", 2*w, 4*w, 3, 1, 1), nn.NewReLU())
+	u.up2 = nn.NewUpsample2x()
+	u.dec2 = nn.NewSequential(nn.NewConv2d(rng, "u.d2", 6*w, 2*w, 3, 1, 1), nn.NewReLU())
+	u.up1 = nn.NewUpsample2x()
+	u.dec1 = nn.NewSequential(nn.NewConv2d(rng, "u.d1", 3*w, w, 3, 1, 1), nn.NewReLU())
+	u.head = nn.NewConv2d(rng, "u.head", w, 1, 1, 1, 0)
+	return u
+}
+
+// Forward computes per-pixel logits [BD, 1, n, n].
+func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s1 := u.enc1.Forward(x, train) // [_, w, n, n]
+	p1 := u.pool1.Forward(s1, train)
+	s2 := u.enc2.Forward(p1, train) // [_, 2w, n/2, n/2]
+	p2 := u.pool2.Forward(s2, train)
+	m := u.mid.Forward(p2, train)     // [_, 4w, n/4, n/4]
+	up2 := u.up2.Forward(m, train)    // [_, 4w, n/2, n/2]
+	d2in := catChannels(s2, up2)      // [_, 6w, ...]
+	d2 := u.dec2.Forward(d2in, train) // [_, 2w, n/2, n/2]
+	up1 := u.up1.Forward(d2, train)   // [_, 2w, n, n]
+	d1in := catChannels(s1, up1)      // [_, 3w, n, n]
+	d1 := u.dec1.Forward(d1in, train) // [_, w, n, n]
+	return u.head.Forward(d1, train)  // [_, 1, n, n]
+}
+
+// Backward propagates through the U, splitting gradients at each skip
+// concatenation and summing them where the paths rejoin.
+func (u *UNet) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := u.head.Backward(grad)
+	g = u.dec1.Backward(g)
+	gSkip1, gUp1 := splitChannels(g, u.c1)
+	g = u.up1.Backward(gUp1)
+	g = u.dec2.Backward(g)
+	gSkip2, gUp2 := splitChannels(g, u.c2)
+	g = u.up2.Backward(gUp2)
+	g = u.mid.Backward(g)
+	g = u.pool2.Backward(g)
+	g = g.Add(gSkip2)
+	g = u.enc2.Backward(g)
+	g = u.pool1.Backward(g)
+	g = g.Add(gSkip1)
+	return u.enc1.Backward(g)
+}
+
+// Params returns every sub-module's parameters.
+func (u *UNet) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, s := range []*nn.Sequential{u.enc1, u.enc2, u.mid, u.dec2, u.dec1} {
+		ps = append(ps, s.Params()...)
+	}
+	return append(ps, u.head.Params()...)
+}
+
+// catChannels concatenates two [BD, C, H, W] tensors along the channel
+// dimension (a first, then b).
+func catChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	bd, ca, h, w := a.Dim(0), a.Dim(1), a.Dim(2), a.Dim(3)
+	cb := b.Dim(1)
+	out := tensor.New(bd, ca+cb, h, w)
+	plane := h * w
+	for s := 0; s < bd; s++ {
+		aOff := s * ca * plane
+		bOff := s * cb * plane
+		oOff := s * (ca + cb) * plane
+		copy(out.Data()[oOff:oOff+ca*plane], a.Data()[aOff:aOff+ca*plane])
+		copy(out.Data()[oOff+ca*plane:oOff+(ca+cb)*plane], b.Data()[bOff:bOff+cb*plane])
+	}
+	return out
+}
+
+// splitChannels is the inverse of catChannels: it splits grad into the
+// first ca channels and the rest.
+func splitChannels(grad *tensor.Tensor, ca int) (*tensor.Tensor, *tensor.Tensor) {
+	bd, c, h, w := grad.Dim(0), grad.Dim(1), grad.Dim(2), grad.Dim(3)
+	cb := c - ca
+	a := tensor.New(bd, ca, h, w)
+	b := tensor.New(bd, cb, h, w)
+	plane := h * w
+	for s := 0; s < bd; s++ {
+		gOff := s * c * plane
+		copy(a.Data()[s*ca*plane:(s+1)*ca*plane], grad.Data()[gOff:gOff+ca*plane])
+		copy(b.Data()[s*cb*plane:(s+1)*cb*plane], grad.Data()[gOff+ca*plane:gOff+c*plane])
+	}
+	return a, b
+}

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements the *weights* compression target (§6, Fig. 1):
+// serializing a model's parameters, optionally through the lossy
+// round-tripper, "enabling easier deployment to memory-constrained edge
+// devices" (§2.2). The format is self-describing: a header, then one
+// record per parameter (name, shape, raw float32 payload). When a
+// RoundTripper is supplied the payload is the lossy reconstruction —
+// the on-disk bytes stay float32 (simple and portable) while the
+// *information content* matches what a deployed compressed checkpoint
+// would carry; SaveCompressed reports the compressed payload size the
+// round-tripper achieved.
+
+const checkpointMagic = 0x434B5054 // "CKPT"
+
+// SaveCheckpoint writes the model's parameters to w. rt may be nil for
+// a lossless checkpoint; otherwise the *concatenated* parameter stream
+// is round-tripped in one pass — amortizing the compressor's fixed
+// plane size across all tensors instead of padding each small bias
+// separately — and the compressed-payload size is returned alongside
+// the raw bytes written.
+func SaveCheckpoint(w io.Writer, params []*Param, rt RoundTripper) (rawBytes, compressedBytes int, err error) {
+	// Concatenate every parameter's values.
+	total := 0
+	for _, p := range params {
+		total += p.Value.Len()
+	}
+	all := make([]float32, 0, total)
+	for _, p := range params {
+		all = append(all, p.Value.Data()...)
+	}
+	rawBytes = 4 * total
+	if rt != nil && total > 0 {
+		vals, cb, rtErr := rt.RoundTrip(all)
+		if rtErr != nil {
+			return 0, 0, fmt.Errorf("nn: compressing checkpoint: %w", rtErr)
+		}
+		all = vals
+		compressedBytes = cb
+	} else {
+		compressedBytes = rawBytes
+	}
+
+	writeU32 := func(v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := writeU32(checkpointMagic); err != nil {
+		return 0, 0, err
+	}
+	if err := writeU32(uint32(len(params))); err != nil {
+		return 0, 0, err
+	}
+	off := 0
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := writeU32(uint32(len(name))); err != nil {
+			return rawBytes, compressedBytes, err
+		}
+		if _, err := w.Write(name); err != nil {
+			return rawBytes, compressedBytes, err
+		}
+		shape := p.Value.Shape()
+		if err := writeU32(uint32(len(shape))); err != nil {
+			return rawBytes, compressedBytes, err
+		}
+		for _, d := range shape {
+			if err := writeU32(uint32(d)); err != nil {
+				return rawBytes, compressedBytes, err
+			}
+		}
+		payload := all[off : off+p.Value.Len()]
+		off += p.Value.Len()
+		buf := make([]byte, 4*len(payload))
+		for i, v := range payload {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return rawBytes, compressedBytes, err
+		}
+	}
+	return rawBytes, compressedBytes, nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into the
+// given parameters, matching by position. Names and shapes must agree —
+// a model-architecture mismatch is an error, not a silent truncation.
+func LoadCheckpoint(r io.Reader, params []*Param) error {
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := readU32()
+	if err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", magic)
+	}
+	count, err := readU32()
+	if err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		nameLen, err := readU32()
+		if err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint parameter %q does not match model parameter %q", name, p.Name)
+		}
+		rank, err := readU32()
+		if err != nil {
+			return err
+		}
+		if rank > 8 {
+			return fmt.Errorf("nn: implausible rank %d for %s", rank, p.Name)
+		}
+		elems := 1
+		shape := make([]int, rank)
+		for i := range shape {
+			d, err := readU32()
+			if err != nil {
+				return err
+			}
+			shape[i] = int(d)
+			elems *= int(d)
+		}
+		want := p.Value.Shape()
+		if len(shape) != len(want) {
+			return fmt.Errorf("nn: %s rank mismatch %v vs %v", p.Name, shape, want)
+		}
+		for i := range shape {
+			if shape[i] != want[i] {
+				return fmt.Errorf("nn: %s shape mismatch %v vs %v", p.Name, shape, want)
+			}
+		}
+		buf := make([]byte, 4*elems)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nn: reading %s payload: %w", p.Name, err)
+		}
+		dst := p.Value.Data()
+		for i := range dst {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func checkpointModel(seed uint64) *Sequential {
+	// Big enough (≈2k parameters) that the compressed stream spans
+	// several of the adapter's planes, keeping padding negligible.
+	rng := tensor.NewRNG(seed)
+	return NewSequential(
+		NewConv2d(rng, "c1", 3, 8, 3, 1, 1),
+		NewBatchNorm2d("bn", 8),
+		NewConv2d(rng, "c2", 8, 16, 3, 1, 1),
+		NewLinear(rng, "fc", 64, 10),
+	)
+}
+
+func TestCheckpointLosslessRoundTrip(t *testing.T) {
+	src := checkpointModel(1)
+	var buf bytes.Buffer
+	raw, comp, err := SaveCheckpoint(&buf, src.Params(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != comp {
+		t.Fatalf("lossless checkpoint raw %d != compressed %d", raw, comp)
+	}
+	dst := checkpointModel(2) // different weights, same architecture
+	if err := LoadCheckpoint(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		if !p.Value.Equal(dst.Params()[i].Value) {
+			t.Fatalf("parameter %s not restored exactly", p.Name)
+		}
+	}
+}
+
+func TestCheckpointCompressedRoundTrip(t *testing.T) {
+	src := checkpointModel(3)
+	rt := dctRT(t, 6)
+	var buf bytes.Buffer
+	raw, comp, err := SaveCheckpoint(&buf, src.Params(), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp >= raw {
+		t.Fatalf("compressed payload %d not below raw %d", comp, raw)
+	}
+	dst := checkpointModel(4)
+	if err := LoadCheckpoint(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Lossy but close: the restored weights approximate the originals.
+	for i, p := range src.Params() {
+		got := dst.Params()[i].Value
+		if p.Value.Equal(got) && p.Value.MaxAbs() > 0 && p.Value.Len() > 8 {
+			// Some loss is expected on non-trivial tensors.
+			t.Logf("parameter %s restored exactly (may be DC-only)", p.Name)
+		}
+		if mse := metrics.MSE(p.Value, got); mse > 0.1 {
+			t.Fatalf("parameter %s MSE %g too high", p.Name, mse)
+		}
+	}
+}
+
+func TestCheckpointCompressedModelStillWorks(t *testing.T) {
+	// The deployment scenario: quantify accuracy of a model whose
+	// weights went through the compressed checkpoint.
+	rng := tensor.NewRNG(5)
+	model := NewSequential(
+		NewConv2d(rng, "c1", 1, 4, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2d(2),
+		NewFlatten(),
+		NewLinear(rng, "fc", 4*4*4, 2),
+	)
+	opt := NewSGD(0.05, 0.9)
+	for step := 0; step < 60; step++ {
+		x, labels := stripeBatch(rng, 16)
+		logits := model.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(logits, labels)
+		model.ZeroGrad()
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	testX, testY := stripeBatch(rng, 64)
+	baseAcc := metrics.Accuracy(model.Forward(testX, false), testY)
+
+	var buf bytes.Buffer
+	if _, _, err := SaveCheckpoint(&buf, model.Params(), dctRT(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(&buf, model.Params()); err != nil {
+		t.Fatal(err)
+	}
+	compAcc := metrics.Accuracy(model.Forward(testX, false), testY)
+	if baseAcc-compAcc > 0.15 {
+		t.Fatalf("compressed weights dropped accuracy %.2f → %.2f", baseAcc, compAcc)
+	}
+}
+
+func TestCheckpointRejectsMismatches(t *testing.T) {
+	src := checkpointModel(6)
+	var buf bytes.Buffer
+	if _, _, err := SaveCheckpoint(&buf, src.Params(), nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Wrong parameter count.
+	rng := tensor.NewRNG(7)
+	small := NewSequential(NewLinear(rng, "fc", 4, 2))
+	if err := LoadCheckpoint(bytes.NewReader(data), small.Params()); err == nil {
+		t.Fatal("parameter-count mismatch must fail")
+	}
+
+	// Wrong name.
+	renamed := checkpointModel(8)
+	renamed.Params()[0].Name = "other"
+	if err := LoadCheckpoint(bytes.NewReader(data), renamed.Params()); err == nil {
+		t.Fatal("name mismatch must fail")
+	} else if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("unexpected error %v", err)
+	}
+
+	// Garbage.
+	if err := LoadCheckpoint(bytes.NewReader([]byte{1, 2, 3}), src.Params()); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+	if err := LoadCheckpoint(bytes.NewReader(make([]byte, 16)), src.Params()); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}

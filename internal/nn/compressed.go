@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// RoundTripper is the lossy compress→decompress interface the
+// compression-target wrappers consume (core.FlatRoundTripper satisfies
+// it via an adapter; tests inject fakes).
+type RoundTripper interface {
+	// RoundTrip returns the lossy reconstruction of values and the
+	// compressed payload size in bytes.
+	RoundTrip(values []float32) ([]float32, int, error)
+}
+
+// CheckpointCompress implements the paper's future-work *activation*
+// compression target (§6, Fig. 1): during training, the input
+// activation a layer would cache for its backward pass is stored
+// compressed instead. At backward time the activation is decompressed
+// and the wrapped layer's forward is re-run to rebuild its caches
+// before backpropagating — the same recompute-from-lossy-activations
+// scheme as COMET/ActNN, expressed over any Layer.
+//
+// The forward *output* is exact; only the gradient is computed from the
+// lossy activation, which is precisely the error mode activation
+// compression introduces ("data loss can lead to incorrectly calculated
+// gradients", §3.1).
+type CheckpointCompress struct {
+	Inner Layer
+	RT    RoundTripper
+
+	// Stats accumulated across forward passes (training mode only).
+	RawBytes        int
+	CompressedBytes int
+
+	stored   []float32
+	shape    []int
+	trained  bool
+	rtFailed error
+}
+
+// NewCheckpointCompress wraps inner with compressed activation storage.
+func NewCheckpointCompress(inner Layer, rt RoundTripper) *CheckpointCompress {
+	return &CheckpointCompress{Inner: inner, RT: rt}
+}
+
+// Forward runs the wrapped layer and stores its input compressed.
+func (c *CheckpointCompress) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := c.Inner.Forward(x, train)
+	c.trained = train
+	if train {
+		vals, bytes, err := c.RT.RoundTrip(x.Data())
+		if err != nil {
+			c.rtFailed = err
+			return out
+		}
+		c.stored = vals
+		c.shape = x.Shape()
+		c.RawBytes += x.SizeBytes()
+		c.CompressedBytes += bytes
+	}
+	return out
+}
+
+// Backward decompresses the stored activation, re-runs the inner
+// forward to rebuild its caches from the lossy input, then
+// backpropagates through it.
+func (c *CheckpointCompress) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.rtFailed != nil {
+		panic("nn: CheckpointCompress forward round-trip failed: " + c.rtFailed.Error())
+	}
+	if c.trained && c.stored != nil {
+		restored := tensor.FromSlice(c.stored, c.shape...)
+		c.Inner.Forward(restored, true)
+	}
+	return c.Inner.Backward(grad)
+}
+
+// Params returns the wrapped layer's parameters.
+func (c *CheckpointCompress) Params() []*Param { return c.Inner.Params() }
+
+// SavingsRatio returns raw/compressed activation bytes so far.
+func (c *CheckpointCompress) SavingsRatio() float64 {
+	if c.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(c.RawBytes) / float64(c.CompressedBytes)
+}
+
+// GradCompressOptimizer implements the *gradient* compression target
+// (§6, and the distributed-training motivation of §2.2): every
+// parameter gradient is round-tripped through the lossy compressor
+// before the wrapped optimizer consumes it, simulating a compressed
+// all-reduce. Stats record the traffic saved.
+//
+// Because DCT+Chop is a projection, naively compressing each step's
+// gradient would permanently lose the components in the chop's kernel
+// and training would stall. Like the gradient-compression systems the
+// paper cites (3LC; error-feedback SGD generally), the wrapper
+// therefore keeps a per-parameter residual: each step compresses
+// gradient+residual and carries the compression error into the next
+// step, so every component is eventually transmitted.
+type GradCompressOptimizer struct {
+	Inner Optimizer
+	RT    RoundTripper
+	// DisableErrorFeedback turns the residual accumulation off (for
+	// ablation; expect stalls on spectrally flat gradients).
+	DisableErrorFeedback bool
+	// DisableRotation turns off the per-step packing rotation (for
+	// ablation). Error feedback alone cannot drain a *fixed* chop
+	// kernel — a projection never transmits those components — so each
+	// step packs the gradient at a different circular offset, moving
+	// the kernel around; combined with error feedback every component
+	// is transmitted within a few steps.
+	DisableRotation bool
+	// FullSyncEvery additionally sends the accumulated gradient
+	// uncompressed every k-th step (0, the default, disables). With
+	// rotation enabled it is unnecessary; it exists for experiments
+	// with rotation off.
+	FullSyncEvery int
+	// ResidualDecay scales the carried residual each step (damped error
+	// feedback). Undamped feedback (1.0) through a *non-contractive*
+	// compressor like chop lets stale high-frequency residual resonate
+	// with the optimizer and diverge; the constructor defaults to 0.5,
+	// which bounds the residual at ~2 steps of dropped gradient while
+	// still re-transmitting most of what the chop removed.
+	ResidualDecay float64
+
+	RawBytes        int
+	CompressedBytes int
+	// Err holds the first round-trip failure; Step panics on it rather
+	// than silently training on unmodified gradients.
+	Err error
+
+	residual map[*Param]*tensor.Tensor
+	step     int
+}
+
+// NewGradCompressOptimizer wraps inner with gradient compression, error
+// feedback and packing rotation on.
+func NewGradCompressOptimizer(inner Optimizer, rt RoundTripper) *GradCompressOptimizer {
+	return &GradCompressOptimizer{
+		Inner: inner, RT: rt,
+		ResidualDecay: 0.5,
+		residual:      map[*Param]*tensor.Tensor{},
+	}
+}
+
+// Step compresses every gradient in place (with error feedback and
+// periodic full sync), then delegates to the wrapped optimizer.
+func (g *GradCompressOptimizer) Step(params []*Param) {
+	if g.Err != nil {
+		panic("nn: GradCompressOptimizer: " + g.Err.Error())
+	}
+	g.step++
+	fullSync := g.FullSyncEvery > 0 && g.step%g.FullSyncEvery == 0
+	for _, p := range params {
+		if !g.DisableErrorFeedback {
+			res, ok := g.residual[p]
+			if !ok {
+				res = tensor.New(p.Grad.Shape()...)
+				g.residual[p] = res
+			}
+			p.Grad.AddInPlace(res)
+		}
+		if fullSync {
+			// Transmit gradient+residual uncompressed; residual clears.
+			if !g.DisableErrorFeedback {
+				g.residual[p].Zero()
+			}
+			g.RawBytes += p.Grad.SizeBytes()
+			g.CompressedBytes += p.Grad.SizeBytes()
+			continue
+		}
+		payload := p.Grad.Data()
+		offset := 0
+		if !g.DisableRotation && len(payload) > 1 {
+			// Deterministic stride coprime-ish with typical lengths.
+			offset = (g.step * 9973) % len(payload)
+			payload = rotated(payload, offset)
+		}
+		vals, bytes, err := g.RT.RoundTrip(payload)
+		if err != nil {
+			g.Err = err
+			panic("nn: GradCompressOptimizer: " + err.Error())
+		}
+		if offset != 0 {
+			vals = rotated(vals, len(vals)-offset)
+		}
+		if !g.DisableErrorFeedback {
+			res := g.residual[p]
+			decay := float32(g.ResidualDecay)
+			rd, gd := res.Data(), p.Grad.Data()
+			for i := range rd {
+				rd[i] = decay * (gd[i] - vals[i]) // carry what the chop dropped
+			}
+		}
+		copy(p.Grad.Data(), vals)
+		g.RawBytes += p.Grad.SizeBytes()
+		g.CompressedBytes += bytes
+	}
+	g.Inner.Step(params)
+}
+
+// rotated returns values circularly shifted left by k.
+func rotated(values []float32, k int) []float32 {
+	n := len(values)
+	out := make([]float32, n)
+	copy(out, values[k:])
+	copy(out[n-k:], values[:k])
+	return out
+}
+
+// SavingsRatio returns raw/compressed gradient bytes so far.
+func (g *GradCompressOptimizer) SavingsRatio() float64 {
+	if g.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(g.RawBytes) / float64(g.CompressedBytes)
+}

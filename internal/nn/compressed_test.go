@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// identityRT is a lossless RoundTripper fake with a fixed claimed ratio.
+type identityRT struct{ calls int }
+
+func (i *identityRT) RoundTrip(values []float32) ([]float32, int, error) {
+	i.calls++
+	out := make([]float32, len(values))
+	copy(out, values)
+	return out, len(values), nil // "compressed" to 1 byte per value
+}
+
+func dctRT(t *testing.T, cf int) RoundTripper {
+	t.Helper()
+	rt, err := core.NewFlatRoundTripper(core.Config{ChopFactor: cf, Serialization: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestFlatRoundTripperArbitraryShapes(t *testing.T) {
+	rt, err := core.NewFlatRoundTripper(core.Config{ChopFactor: 8, Serialization: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(1)
+	for _, n := range []int{1, 7, 256, 300, 1000} {
+		vals := r.Uniform(-1, 1, n).Data()
+		back, bytes, err := rt.RoundTrip(vals)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(back) != n {
+			t.Fatalf("n=%d: got %d values back", n, len(back))
+		}
+		if bytes <= 0 {
+			t.Fatalf("n=%d: compressed bytes %d", n, bytes)
+		}
+		// CF=8 is lossless up to float32 rounding.
+		for i := range vals {
+			if math.Abs(float64(back[i]-vals[i])) > 1e-4 {
+				t.Fatalf("n=%d index %d: %g != %g", n, i, back[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestFlatRoundTripperCompression(t *testing.T) {
+	rt, err := core.NewFlatRoundTripper(core.Config{ChopFactor: 4, Serialization: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 1024)
+	for i := range vals {
+		vals[i] = float32(i % 10)
+	}
+	_, bytes, err := rt.RoundTrip(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes*4 != 4*1024 {
+		t.Fatalf("CF=4 payload %d bytes, want 1/4 of %d", bytes, 4*1024)
+	}
+	if _, _, err := rt.RoundTrip(nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestCheckpointCompressExactWithLosslessRT(t *testing.T) {
+	// With a lossless round-tripper the wrapper must produce exactly
+	// the gradients of the unwrapped layer.
+	rng := tensor.NewRNG(2)
+	plain := NewConv2d(rng, "c", 2, 3, 3, 1, 1)
+	wrapped := NewCheckpointCompress(cloneConv(plain), &identityRT{})
+	x := rng.Uniform(-1, 1, 2, 2, 8, 8)
+	g := rng.Uniform(-1, 1, 2, 3, 8, 8)
+
+	plain.Forward(x, true)
+	dxPlain := plain.Backward(g)
+
+	wrapped.Forward(x, true)
+	dxWrapped := wrapped.Backward(g)
+
+	if d := dxPlain.MaxAbsDiff(dxWrapped); d > 1e-6 {
+		t.Fatalf("lossless checkpoint changed input grad by %g", d)
+	}
+	for i := range plain.Params() {
+		if d := plain.Params()[i].Grad.MaxAbsDiff(wrapped.Params()[i].Grad); d > 1e-6 {
+			t.Fatalf("param %d grad deviates by %g", i, d)
+		}
+	}
+}
+
+// cloneConv duplicates a Conv2d with identical weights.
+func cloneConv(c *Conv2d) *Conv2d {
+	out := &Conv2d{InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		W: NewParam(c.W.Name, c.W.Value.Clone()),
+		B: NewParam(c.B.Name, c.B.Value.Clone())}
+	return out
+}
+
+func TestCheckpointCompressLossyGradientsApproximate(t *testing.T) {
+	// With a lossy round-tripper the gradients deviate, but boundedly —
+	// and the wrapper's savings accounting reflects the chop ratio.
+	rng := tensor.NewRNG(3)
+	plain := NewConv2d(rng, "c", 1, 2, 3, 1, 1)
+	wrapped := NewCheckpointCompress(cloneConv(plain), dctRT(t, 6))
+	x := rng.Uniform(0, 1, 2, 1, 16, 16)
+	g := rng.Uniform(-0.1, 0.1, 2, 2, 16, 16)
+
+	plain.Forward(x, true)
+	plain.Backward(g)
+	wrapped.Forward(x, true)
+	wrapped.Backward(g)
+
+	wNormPlain := plain.W.Grad.Norm2()
+	diff := plain.W.Grad.Sub(wrapped.Params()[0].Grad).Norm2()
+	if diff == 0 {
+		t.Fatal("lossy checkpoint should perturb gradients")
+	}
+	// Spectrally flat (random) activations are the worst case for a
+	// chop projection; the error stays below the gradient's own norm.
+	if diff > 0.9*wNormPlain {
+		t.Fatalf("gradient error %g too large vs norm %g", diff, wNormPlain)
+	}
+	if r := wrapped.SavingsRatio(); math.Abs(r-64.0/36) > 1e-6 {
+		t.Fatalf("savings ratio %g, want %g", r, 64.0/36)
+	}
+}
+
+func TestCheckpointCompressOnlyStoresWhenTraining(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	rt := &identityRT{}
+	wrapped := NewCheckpointCompress(NewConv2d(rng, "c", 1, 1, 3, 1, 1), rt)
+	x := rng.Uniform(0, 1, 1, 1, 8, 8)
+	wrapped.Forward(x, false)
+	if rt.calls != 0 {
+		t.Fatal("eval-mode forward must not compress activations")
+	}
+	wrapped.Forward(x, true)
+	if rt.calls != 1 {
+		t.Fatal("train-mode forward must compress activations once")
+	}
+}
+
+func TestCheckpointCompressTrainsEndToEnd(t *testing.T) {
+	// A model whose every conv stores compressed activations must still
+	// converge on the stripes task (the paper's premise that lossy
+	// compression need not break training).
+	rng := tensor.NewRNG(5)
+	rt := dctRT(t, 6)
+	model := NewSequential(
+		NewCheckpointCompress(NewConv2d(rng, "c1", 1, 4, 3, 1, 1), rt),
+		NewReLU(),
+		NewMaxPool2d(2),
+		NewFlatten(),
+		NewLinear(rng, "fc", 4*4*4, 2),
+	)
+	opt := NewSGD(0.05, 0.9)
+	var loss float64
+	for step := 0; step < 80; step++ {
+		x, labels := stripeBatch(rng, 16)
+		logits := model.Forward(x, true)
+		var grad *tensor.Tensor
+		loss, grad = SoftmaxCrossEntropy(logits, labels)
+		model.ZeroGrad()
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	if loss > 0.3 {
+		t.Fatalf("compressed-activation training did not converge: loss %g", loss)
+	}
+}
+
+// stripeBatch is the two-class stripes task shared with nn_test.
+func stripeBatch(rng *tensor.RNG, bd int) (*tensor.Tensor, []int) {
+	x := tensor.New(bd, 1, 8, 8)
+	labels := make([]int, bd)
+	for b := 0; b < bd; b++ {
+		label := rng.Intn(2)
+		labels[b] = label
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				var v float32
+				if (label == 0 && i%2 == 0) || (label == 1 && j%2 == 0) {
+					v = 1
+				}
+				x.Set4(v+0.1*float32(rng.Norm()), b, 0, i, j)
+			}
+		}
+	}
+	return x, labels
+}
+
+func TestGradCompressOptimizer(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	// 256 values fill the adapter's 16×16 plane exactly, so the payload
+	// accounting is padding-free.
+	p := NewParam("p", rng.Uniform(-1, 1, 256))
+	p.Grad.CopyFrom(rng.Uniform(-1, 1, 256))
+	gradBefore := p.Grad.Clone()
+
+	inner := NewSGD(0.1, 0)
+	opt := NewGradCompressOptimizer(inner, dctRT(t, 4))
+	valBefore := p.Value.Clone()
+	opt.Step([]*Param{p})
+
+	// The step must have been taken along the *compressed* gradient.
+	applied := valBefore.Sub(p.Value).Scale(10) // (v0−v1)/lr = effective grad
+	if applied.Equal(gradBefore) {
+		t.Fatal("gradient was not perturbed by compression")
+	}
+	// Direction preserved on average (chop keeps the low band).
+	var dot float64
+	for i := range applied.Data() {
+		dot += float64(applied.Data()[i]) * float64(gradBefore.Data()[i])
+	}
+	cos := dot / (applied.Norm2() * gradBefore.Norm2())
+	if cos < 0.2 {
+		t.Fatalf("compressed gradient direction cosine %g too low", cos)
+	}
+	if opt.SavingsRatio() != 4 {
+		t.Fatalf("savings ratio %g, want 4", opt.SavingsRatio())
+	}
+}
+
+func TestGradCompressErrorFeedbackInvariant(t *testing.T) {
+	// The error-feedback identity: transmitted + new residual ==
+	// gradient + old residual, exactly (compression loses nothing
+	// permanently).
+	rng := tensor.NewRNG(8)
+	p := NewParam("p", rng.Uniform(-1, 1, 50))
+	opt := NewGradCompressOptimizer(NewSGD(0, 0), dctRT(t, 3)) // lr=0: params frozen
+	var carried *tensor.Tensor
+	for step := 0; step < 5; step++ {
+		g := rng.Uniform(-1, 1, 50)
+		p.Grad.CopyFrom(g)
+		want := g.Clone()
+		if carried != nil {
+			want.AddInPlace(carried)
+		}
+		opt.Step([]*Param{p})
+		// p.Grad now holds the transmitted (compressed) gradient.
+		carried = want.Sub(p.Grad) // residual the optimizer must have kept
+		// Re-derive: next step's effective input must include carried.
+		// Verified implicitly by convergence test; here check the
+		// residual is nonzero (chop drops something) yet bounded.
+		if step > 0 && carried.Norm2() == 0 {
+			t.Fatal("chop at CF=3 should leave a residual")
+		}
+		if carried.Norm2() > 10*want.Norm2() {
+			t.Fatal("residual exploding")
+		}
+	}
+}
+
+func TestGradCompressOptimizerConvergesWithErrorFeedback(t *testing.T) {
+	// Quadratic minimization converges under CF=4 gradient compression
+	// thanks to error feedback (3LC-style robustness)...
+	rng := tensor.NewRNG(7)
+	p := NewParam("p", rng.Uniform(-4, 4, 32))
+	start := p.Value.Norm2()
+	opt := NewGradCompressOptimizer(NewSGD(0.1, 0), dctRT(t, 4))
+	for i := 0; i < 1500; i++ {
+		p.Grad.Zero()
+		p.Grad.Axpy(2, p.Value)
+		opt.Step([]*Param{p})
+	}
+	if got := p.Value.Norm2(); got > 0.1 || got > start/20 {
+		t.Fatalf("did not converge under gradient compression: |p| = %g (start %g)", got, start)
+	}
+
+	// ...while the ablation without error feedback or full sync stalls:
+	// the chop kernel's components are never transmitted.
+	p2 := NewParam("p", tensor.NewRNG(7).Uniform(-4, 4, 32))
+	naive := NewGradCompressOptimizer(NewSGD(0.1, 0), dctRT(t, 4))
+	naive.DisableErrorFeedback = true
+	naive.DisableRotation = true
+	naive.FullSyncEvery = 0
+	for i := 0; i < 400; i++ {
+		p2.Grad.Zero()
+		p2.Grad.Axpy(2, p2.Value)
+		naive.Step([]*Param{p2})
+	}
+	if p2.Value.Norm2() < 1 {
+		t.Fatalf("naive compression unexpectedly converged (|p| = %g); the error-feedback ablation should stall", p2.Value.Norm2())
+	}
+}

@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution implemented with im2col + matmul — the
+// same lowering the accelerator toolchains use, which keeps the training
+// substrate's hot loop on the parallel matmul kernel.
+type Conv2d struct {
+	InC, OutC, K, Stride, Pad int
+
+	W *Param // [OutC, InC*K*K]
+	B *Param // [OutC]
+
+	// Cached forward state for Backward.
+	cols    []*tensor.Tensor // per-sample im2col matrices
+	inShape []int
+	outH    int
+	outW    int
+}
+
+// NewConv2d builds a convolution with He-normal initialization drawn
+// from rng.
+func NewConv2d(rng *tensor.RNG, name string, inC, outC, k, stride, pad int) *Conv2d {
+	if k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: Conv2d %s invalid k=%d stride=%d pad=%d", name, k, stride, pad))
+	}
+	fanIn := inC * k * k
+	std := float32(math.Sqrt(2 / float64(fanIn)))
+	return &Conv2d{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W: NewParam(name+".W", rng.Normal(0, std, outC, fanIn)),
+		B: NewParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// OutSize returns the output spatial size for input size h.
+func (c *Conv2d) OutSize(h int) int { return (h+2*c.Pad-c.K)/c.Stride + 1 }
+
+// Forward computes the convolution over a [BD, InC, H, W] batch.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape4(x, "Conv2d")
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ch != c.InC {
+		panic(fmt.Sprintf("nn: Conv2d %s expects %d channels, got %d", c.W.Name, c.InC, ch))
+	}
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	c.inShape = x.Shape()
+	c.outH, c.outW = oh, ow
+	c.cols = make([]*tensor.Tensor, bd)
+	out := tensor.New(bd, c.OutC, oh, ow)
+	tensor.ParallelFor(bd, func(b int) {
+		col := im2col(x, b, c.K, c.Stride, c.Pad, oh, ow)
+		c.cols[b] = col
+		y := tensor.MatMul(c.W.Value, col) // [OutC, oh*ow]
+		yd := y.Data()
+		bias := c.B.Value.Data()
+		dst := out.Data()[b*c.OutC*oh*ow : (b+1)*c.OutC*oh*ow]
+		for o := 0; o < c.OutC; o++ {
+			bo := bias[o]
+			row := yd[o*oh*ow : (o+1)*oh*ow]
+			for i, v := range row {
+				dst[o*oh*ow+i] = v + bo
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bd := grad.Dim(0)
+	oh, ow := c.outH, c.outW
+	dx := tensor.New(c.inShape...)
+	// Per-sample weight gradients are accumulated into per-worker
+	// buffers then reduced, so the parallel loop never races on W.Grad.
+	dws := make([]*tensor.Tensor, bd)
+	dbs := make([]*tensor.Tensor, bd)
+	wT := c.W.Value.Transpose()
+	tensor.ParallelFor(bd, func(b int) {
+		g := grad.Index(b).Reshape(c.OutC, oh*ow)
+		col := c.cols[b]
+		dws[b] = tensor.MatMul(g, col.Transpose())
+		db := tensor.New(c.OutC)
+		gd := g.Data()
+		for o := 0; o < c.OutC; o++ {
+			var s float32
+			for _, v := range gd[o*oh*ow : (o+1)*oh*ow] {
+				s += v
+			}
+			db.Data()[o] = s
+		}
+		dbs[b] = db
+		dcol := tensor.MatMul(wT, g)
+		col2im(dcol, dx, b, c.K, c.Stride, c.Pad, oh, ow)
+	})
+	for b := 0; b < bd; b++ {
+		c.W.Grad.AddInPlace(dws[b])
+		c.B.Grad.AddInPlace(dbs[b])
+	}
+	return dx
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2d) Params() []*Param { return []*Param{c.W, c.B} }
+
+// im2col unrolls sample b of x into a [C*K*K, oh*ow] matrix.
+func im2col(x *tensor.Tensor, b, k, stride, pad, oh, ow int) *tensor.Tensor {
+	ch, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
+	col := tensor.New(ch*k*k, oh*ow)
+	cd := col.Data()
+	xd := x.Data()
+	base := b * ch * h * w
+	for c := 0; c < ch; c++ {
+		for ki := 0; ki < k; ki++ {
+			for kj := 0; kj < k; kj++ {
+				row := ((c*k+ki)*k + kj) * oh * ow
+				for oi := 0; oi < oh; oi++ {
+					si := oi*stride + ki - pad
+					if si < 0 || si >= h {
+						continue
+					}
+					srcRow := base + (c*h+si)*w
+					dstRow := row + oi*ow
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*stride + kj - pad
+						if sj < 0 || sj >= w {
+							continue
+						}
+						cd[dstRow+oj] = xd[srcRow+sj]
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// col2im scatter-adds a [C*K*K, oh*ow] gradient back into dx[b].
+func col2im(col, dx *tensor.Tensor, b, k, stride, pad, oh, ow int) {
+	ch, h, w := dx.Dim(1), dx.Dim(2), dx.Dim(3)
+	cd := col.Data()
+	xd := dx.Data()
+	base := b * ch * h * w
+	for c := 0; c < ch; c++ {
+		for ki := 0; ki < k; ki++ {
+			for kj := 0; kj < k; kj++ {
+				row := ((c*k+ki)*k + kj) * oh * ow
+				for oi := 0; oi < oh; oi++ {
+					si := oi*stride + ki - pad
+					if si < 0 || si >= h {
+						continue
+					}
+					dstRow := base + (c*h+si)*w
+					srcRow := row + oi*ow
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*stride + kj - pad
+						if sj < 0 || sj >= w {
+							continue
+						}
+						xd[dstRow+sj] += cd[srcRow+oj]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Linear is a fully-connected layer: y = xW + b for x of shape [BD, in].
+type Linear struct {
+	In, Out int
+	W       *Param // [in, out]
+	B       *Param // [out]
+	x       *tensor.Tensor
+}
+
+// NewLinear builds a fully-connected layer with He initialization.
+func NewLinear(rng *tensor.RNG, name string, in, out int) *Linear {
+	std := float32(math.Sqrt(2 / float64(in)))
+	return &Linear{
+		In: in, Out: out,
+		W: NewParam(name+".W", rng.Normal(0, std, in, out)),
+		B: NewParam(name+".b", tensor.New(out)),
+	}
+}
+
+// Forward computes xW + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear %s expects [BD,%d], got %v", l.W.Name, l.In, x.Shape()))
+	}
+	l.x = x
+	out := tensor.MatMul(x, l.W.Value)
+	bd := out.Dim(0)
+	bias := l.B.Value.Data()
+	for b := 0; b < bd; b++ {
+		row := out.Data()[b*l.Out : (b+1)*l.Out]
+		for i := range row {
+			row[i] += bias[i]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀg, dB = Σg and returns gWᵀ.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	l.W.Grad.AddInPlace(tensor.MatMul(l.x.Transpose(), grad))
+	bd := grad.Dim(0)
+	db := l.B.Grad.Data()
+	for b := 0; b < bd; b++ {
+		row := grad.Data()[b*l.Out : (b+1)*l.Out]
+		for i, v := range row {
+			db[i] += v
+		}
+	}
+	return tensor.MatMul(grad, l.W.Value.Transpose())
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

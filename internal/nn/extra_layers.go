@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// rescales the survivors by 1/(1−P) (inverted dropout), so evaluation
+// needs no adjustment. Randomness comes from an injected seeded RNG,
+// keeping training runs exactly reproducible.
+type Dropout struct {
+	P    float64
+	rng  *tensor.RNG
+	mask []bool
+}
+
+// NewDropout returns a dropout layer with drop probability p ∈ [0,1).
+func NewDropout(rng *tensor.RNG, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %g outside [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the mask in training mode and is the identity in eval.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	data := out.Data()
+	if cap(d.mask) < len(data) {
+		d.mask = make([]bool, len(data))
+	}
+	d.mask = d.mask[:len(data)]
+	scale := float32(1 / (1 - d.P))
+	for i := range data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+			data[i] = 0
+		} else {
+			d.mask[i] = true
+			data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units only.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	data := out.Data()
+	scale := float32(1 / (1 - d.P))
+	for i := range data {
+		if d.mask[i] {
+			data[i] *= scale
+		} else {
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// AvgPool2d is non-overlapping k×k average pooling.
+type AvgPool2d struct {
+	K       int
+	inShape []int
+}
+
+// NewAvgPool2d returns a k×k/stride-k average pool.
+func NewAvgPool2d(k int) *AvgPool2d {
+	if k <= 0 {
+		panic("nn: AvgPool2d needs positive k")
+	}
+	return &AvgPool2d{K: k}
+}
+
+// Forward averages each k×k window.
+func (a *AvgPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape4(x, "AvgPool2d")
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%a.K != 0 || w%a.K != 0 {
+		panic(fmt.Sprintf("nn: AvgPool2d %d does not divide %dx%d", a.K, h, w))
+	}
+	a.inShape = x.Shape()
+	oh, ow := h/a.K, w/a.K
+	out := tensor.New(bd, ch, oh, ow)
+	inv := 1 / float32(a.K*a.K)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			plane := (b*ch + c) * h * w
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					var s float32
+					for ki := 0; ki < a.K; ki++ {
+						for kj := 0; kj < a.K; kj++ {
+							s += xd[plane+(oi*a.K+ki)*w+oj*a.K+kj]
+						}
+					}
+					od[((b*ch+c)*oh+oi)*ow+oj] = s * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward spreads each gradient uniformly over its window.
+func (a *AvgPool2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bd, ch := a.inShape[0], a.inShape[1]
+	h, w := a.inShape[2], a.inShape[3]
+	oh, ow := h/a.K, w/a.K
+	dx := tensor.New(a.inShape...)
+	inv := 1 / float32(a.K*a.K)
+	gd, dd := grad.Data(), dx.Data()
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			plane := (b*ch + c) * h * w
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					g := gd[((b*ch+c)*oh+oi)*ow+oj] * inv
+					for ki := 0; ki < a.K; ki++ {
+						for kj := 0; kj < a.K; kj++ {
+							dd[plane+(oi*a.K+ki)*w+oj*a.K+kj] = g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no parameters.
+func (a *AvgPool2d) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, αx) for small α, avoiding dead units.
+type LeakyReLU struct {
+	Alpha float32
+	neg   []bool
+}
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(alpha float32) *LeakyReLU {
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Forward scales negative inputs by Alpha.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	data := out.Data()
+	if cap(l.neg) < len(data) {
+		l.neg = make([]bool, len(data))
+	}
+	l.neg = l.neg[:len(data)]
+	for i, v := range data {
+		if v < 0 {
+			l.neg[i] = true
+			data[i] = l.Alpha * v
+		} else {
+			l.neg[i] = false
+		}
+	}
+	return out
+}
+
+// Backward scales gradients of negative-input units by Alpha.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	data := out.Data()
+	for i := range data {
+		if l.neg[i] {
+			data[i] *= l.Alpha
+		}
+	}
+	return out
+}
+
+// Params returns nil: LeakyReLU has no parameters.
+func (l *LeakyReLU) Params() []*Param { return nil }

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAvgPoolGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	x := rng.Uniform(-1, 1, 2, 2, 4, 4)
+	gradCheck(t, "AvgPool2d", NewAvgPool2d(2), x, 2e-2)
+}
+
+func TestAvgPoolForwardValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 1, 1, 4, 4)
+	y := NewAvgPool2d(2).Forward(x, true)
+	want := []float32{(1 + 2 + 5 + 6) / 4.0, (3 + 4 + 7 + 8) / 4.0, (9 + 10 + 13 + 14) / 4.0, (11 + 12 + 15 + 16) / 4.0}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("AvgPool output %v, want %v", y.Data(), want)
+		}
+	}
+}
+
+func TestLeakyReLUGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	// Keep away from the kink.
+	pos := rng.Uniform(0.2, 2, 2, 8)
+	neg := rng.Uniform(-2, -0.2, 2, 8)
+	gradCheck(t, "LeakyReLU+", NewLeakyReLU(0.1), pos, 2e-2)
+	gradCheck(t, "LeakyReLU-", NewLeakyReLU(0.1), neg, 2e-2)
+}
+
+func TestLeakyReLUForward(t *testing.T) {
+	l := NewLeakyReLU(0.1)
+	x := tensor.FromSlice([]float32{-2, 0, 3}, 3)
+	y := l.Forward(x, true)
+	want := []float32{-0.2, 0, 3}
+	for i, w := range want {
+		if math.Abs(float64(y.Data()[i]-w)) > 1e-6 {
+			t.Fatalf("LeakyReLU %v, want %v", y.Data(), want)
+		}
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	d := NewDropout(rng, 0.5)
+	x := rng.Uniform(-1, 1, 100)
+	if !d.Forward(x, false).Equal(x) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	rng := tensor.NewRNG(24)
+	d := NewDropout(rng, 0.3)
+	x := tensor.Full(1, 10000)
+	y := d.Forward(x, true)
+	zeros := 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case float32(1 / 0.7):
+		default:
+			t.Fatalf("unexpected value %g", v)
+		}
+	}
+	frac := float64(zeros) / 10000
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("dropped fraction %g, want ≈0.3", frac)
+	}
+	// Inverted dropout keeps the expectation: mean ≈ 1.
+	if m := y.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("post-dropout mean %g", m)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := tensor.NewRNG(25)
+	d := NewDropout(rng, 0.5)
+	x := rng.Uniform(0.5, 1, 64)
+	y := d.Forward(x, true)
+	g := tensor.Full(1, 64)
+	dx := d.Backward(g)
+	for i := range y.Data() {
+		if (y.Data()[i] == 0) != (dx.Data()[i] == 0) {
+			t.Fatal("backward mask disagrees with forward mask")
+		}
+		if y.Data()[i] != 0 && math.Abs(float64(dx.Data()[i]-2)) > 1e-6 {
+			t.Fatalf("survivor gradient %g, want 1/(1-p)=2", dx.Data()[i])
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 must panic")
+		}
+	}()
+	NewDropout(tensor.NewRNG(1), 1)
+}
+
+func TestDropoutInTraining(t *testing.T) {
+	// A model with dropout still learns the stripes task.
+	rng := tensor.NewRNG(26)
+	model := NewSequential(
+		NewConv2d(rng, "c1", 1, 4, 3, 1, 1),
+		NewLeakyReLU(0.05),
+		NewAvgPool2d(2),
+		NewFlatten(),
+		NewDropout(rng, 0.2),
+		NewLinear(rng, "fc", 4*4*4, 2),
+	)
+	opt := NewSGD(0.05, 0.9)
+	var loss float64
+	for step := 0; step < 120; step++ {
+		x, labels := stripeBatch(rng, 16)
+		logits := model.Forward(x, true)
+		var grad *tensor.Tensor
+		loss, grad = SoftmaxCrossEntropy(logits, labels)
+		model.ZeroGrad()
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	if loss > 0.4 {
+		t.Fatalf("dropout model did not converge: %g", loss)
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy of logits
+// [BD, classes] against integer labels, returning the loss and the
+// gradient with respect to the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	bd, k := logits.Dim(0), logits.Dim(1)
+	if bd != len(labels) {
+		panic(fmt.Sprintf("nn: cross-entropy batch %d vs %d labels", bd, len(labels)))
+	}
+	grad := tensor.New(bd, k)
+	var loss float64
+	ld, gd := logits.Data(), grad.Data()
+	inv := 1 / float64(bd)
+	for b := 0; b < bd; b++ {
+		row := ld[b*k : (b+1)*k]
+		// Stable softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		label := labels[b]
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
+		}
+		loss += inv * (logSum - float64(row[label]-maxv))
+		grow := gd[b*k : (b+1)*k]
+		for j, v := range row {
+			p := math.Exp(float64(v-maxv)) / sum
+			grow[j] = float32(inv * p)
+		}
+		grow[label] -= float32(inv)
+	}
+	return loss, grad
+}
+
+// MSELoss returns mean squared error and its gradient w.r.t. pred.
+func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	n := float64(pred.Len())
+	grad := tensor.New(pred.Shape()...)
+	var loss float64
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	for i := range pd {
+		d := float64(pd[i]) - float64(td[i])
+		loss += d * d
+		gd[i] = float32(2 * d / n)
+	}
+	return loss / n, grad
+}
+
+// BCEWithLogits returns the mean binary cross-entropy between logits and
+// {0,1} targets (numerically stable log-sum-exp form) and its gradient.
+func BCEWithLogits(logits, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !logits.SameShape(target) {
+		panic(fmt.Sprintf("nn: BCE shape mismatch %v vs %v", logits.Shape(), target.Shape()))
+	}
+	n := float64(logits.Len())
+	grad := tensor.New(logits.Shape()...)
+	var loss float64
+	ld, td, gd := logits.Data(), target.Data(), grad.Data()
+	for i := range ld {
+		x := float64(ld[i])
+		t := float64(td[i])
+		// loss = max(x,0) − x·t + log(1 + e^{−|x|})
+		loss += math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
+		sig := 1 / (1 + math.Exp(-x))
+		gd[i] = float32((sig - t) / n)
+	}
+	return loss / n, grad
+}

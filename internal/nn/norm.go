@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2d normalizes each channel over (batch, height, width) with
+// learnable scale γ and shift β, tracking running statistics for
+// evaluation mode.
+type BatchNorm2d struct {
+	C        int
+	Eps      float64
+	Momentum float64
+
+	Gamma *Param // [C]
+	Beta  *Param // [C]
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	// Cached forward state.
+	xhat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+}
+
+// NewBatchNorm2d returns a batch-norm layer for c channels.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	bn := &BatchNorm2d{
+		C:           c,
+		Eps:         1e-5,
+		Momentum:    0.1,
+		Gamma:       NewParam(name+".gamma", tensor.Full(1, c)),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		RunningMean: make([]float64, c),
+		RunningVar:  make([]float64, c),
+	}
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes with batch statistics when training, running
+// statistics otherwise.
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape4(x, "BatchNorm2d")
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ch != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2d expects %d channels, got %d", bn.C, ch))
+	}
+	bn.inShape = x.Shape()
+	n := float64(bd * h * w)
+	out := tensor.New(x.Shape()...)
+	bn.xhat = tensor.New(x.Shape()...)
+	bn.invStd = make([]float64, ch)
+	xd, od, xh := x.Data(), out.Data(), bn.xhat.Data()
+	gamma, beta := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+	for c := 0; c < ch; c++ {
+		var mean, varv float64
+		if train {
+			var sum float64
+			forEachChannel(bd, ch, h, w, c, func(ix int) { sum += float64(xd[ix]) })
+			mean = sum / n
+			var sq float64
+			forEachChannel(bd, ch, h, w, c, func(ix int) {
+				d := float64(xd[ix]) - mean
+				sq += d * d
+			})
+			varv = sq / n
+			bn.RunningMean[c] = (1-bn.Momentum)*bn.RunningMean[c] + bn.Momentum*mean
+			bn.RunningVar[c] = (1-bn.Momentum)*bn.RunningVar[c] + bn.Momentum*varv
+		} else {
+			mean = bn.RunningMean[c]
+			varv = bn.RunningVar[c]
+		}
+		inv := 1 / math.Sqrt(varv+bn.Eps)
+		bn.invStd[c] = inv
+		g, b := float64(gamma[c]), float64(beta[c])
+		forEachChannel(bd, ch, h, w, c, func(ix int) {
+			xn := (float64(xd[ix]) - mean) * inv
+			xh[ix] = float32(xn)
+			od[ix] = float32(g*xn + b)
+		})
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (bn *BatchNorm2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bd, ch := bn.inShape[0], bn.inShape[1]
+	h, w := bn.inShape[2], bn.inShape[3]
+	n := float64(bd * h * w)
+	dx := tensor.New(bn.inShape...)
+	gd, dd, xh := grad.Data(), dx.Data(), bn.xhat.Data()
+	dgamma, dbeta := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
+	gamma := bn.Gamma.Value.Data()
+	for c := 0; c < ch; c++ {
+		var sumG, sumGX float64
+		forEachChannel(bd, ch, h, w, c, func(ix int) {
+			sumG += float64(gd[ix])
+			sumGX += float64(gd[ix]) * float64(xh[ix])
+		})
+		dgamma[c] += float32(sumGX)
+		dbeta[c] += float32(sumG)
+		coef := float64(gamma[c]) * bn.invStd[c]
+		forEachChannel(bd, ch, h, w, c, func(ix int) {
+			dd[ix] = float32(coef * (float64(gd[ix]) - sumG/n - float64(xh[ix])*sumGX/n))
+		})
+	}
+	return dx
+}
+
+// Params returns γ and β.
+func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// forEachChannel visits every flat index of channel c in a [bd,ch,h,w]
+// layout.
+func forEachChannel(bd, ch, h, w, c int, f func(ix int)) {
+	plane := h * w
+	for b := 0; b < bd; b++ {
+		base := (b*ch + c) * plane
+		for i := 0; i < plane; i++ {
+			f(base + i)
+		}
+	}
+}
+
+// Residual wraps a body and adds a skip connection: y = body(x) + proj(x),
+// where proj is identity when shapes match or a 1×1 strided convolution
+// otherwise — the ResNet basic-block pattern.
+type Residual struct {
+	Body *Sequential
+	Proj *Conv2d // nil for identity skip
+}
+
+// NewResidual builds a residual block around body; proj may be nil.
+func NewResidual(body *Sequential, proj *Conv2d) *Residual {
+	return &Residual{Body: body, Proj: proj}
+}
+
+// Forward computes body(x) + skip(x).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	if r.Proj != nil {
+		return y.Add(r.Proj.Forward(x, train))
+	}
+	return y.Add(x)
+}
+
+// Backward splits the gradient between the body and the skip path.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := r.Body.Backward(grad)
+	if r.Proj != nil {
+		dx = dx.Add(r.Proj.Backward(grad))
+	} else {
+		dx = dx.Add(grad)
+	}
+	return dx
+}
+
+// Params returns the body's and projection's parameters.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Proj != nil {
+		ps = append(ps, r.Proj.Params()...)
+	}
+	return ps
+}

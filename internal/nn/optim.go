@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers
+	// zero them via Sequential.ZeroGrad).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param]*tensor.Tensor{}}
+}
+
+// Step applies v = µv − lr·g; p += v (or plain p −= lr·g without
+// momentum).
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			p.Value.Axpy(float32(-s.LR), p.Grad)
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		v.ScaleInPlace(float32(s.Momentum))
+		v.Axpy(float32(-s.LR), p.Grad)
+		p.Value.AddInPlace(v)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with the standard β defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*tensor.Tensor{}, v: map[*Param]*tensor.Tensor{},
+	}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		md, vd, gd, pd := m.Data(), v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range gd {
+			g := float64(gd[i])
+			md[i] = float32(a.Beta1*float64(md[i]) + (1-a.Beta1)*g)
+			vd[i] = float32(a.Beta2*float64(vd[i]) + (1-a.Beta2)*g*g)
+			mhat := float64(md[i]) / c1
+			vhat := float64(vd[i]) / c2
+			pd[i] -= float32(a.LR * mhat / (math.Sqrt(vhat) + a.Eps))
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2d is a k×k max pooling with stride k (non-overlapping).
+type MaxPool2d struct {
+	K       int
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2d returns a k×k/stride-k max pool.
+func NewMaxPool2d(k int) *MaxPool2d {
+	if k <= 0 {
+		panic("nn: MaxPool2d needs positive k")
+	}
+	return &MaxPool2d{K: k}
+}
+
+// Forward pools each k×k window to its max, recording argmax positions.
+func (m *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape4(x, "MaxPool2d")
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%m.K != 0 || w%m.K != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2d %d does not divide %dx%d", m.K, h, w))
+	}
+	oh, ow := h/m.K, w/m.K
+	m.inShape = x.Shape()
+	out := tensor.New(bd, ch, oh, ow)
+	m.argmax = make([]int, out.Len())
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			plane := (b*ch + c) * h * w
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					best := float32(0)
+					bi := -1
+					for ki := 0; ki < m.K; ki++ {
+						for kj := 0; kj < m.K; kj++ {
+							ix := plane + (oi*m.K+ki)*w + oj*m.K + kj
+							if bi < 0 || xd[ix] > best {
+								best, bi = xd[ix], ix
+							}
+						}
+					}
+					oix := ((b*ch+c)*oh+oi)*ow + oj
+					od[oix] = best
+					m.argmax[oix] = bi
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each gradient to its argmax position.
+func (m *MaxPool2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	gd, dd := grad.Data(), dx.Data()
+	for i, v := range gd {
+		dd[m.argmax[i]] += v
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no parameters.
+func (m *MaxPool2d) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel plane to a single value,
+// producing [BD, C] — the ResNet classification head's input.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages over the spatial dimensions.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape4(x, "GlobalAvgPool")
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.inShape = x.Shape()
+	out := tensor.New(bd, ch)
+	xd := x.Data()
+	inv := 1 / float32(h*w)
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			var s float32
+			for _, v := range xd[(b*ch+c)*h*w : (b*ch+c+1)*h*w] {
+				s += v
+			}
+			out.Set2(s*inv, b, c)
+		}
+	}
+	return out
+}
+
+// Backward spreads each gradient uniformly over its plane.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bd, ch := g.inShape[0], g.inShape[1]
+	h, w := g.inShape[2], g.inShape[3]
+	dx := tensor.New(g.inShape...)
+	dd := dx.Data()
+	inv := 1 / float32(h*w)
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			v := grad.At2(b, c) * inv
+			plane := dd[(b*ch+c)*h*w : (b*ch+c+1)*h*w]
+			for i := range plane {
+				plane[i] = v
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Upsample2x doubles spatial resolution by nearest-neighbour copy — the
+// decoder-side counterpart to MaxPool2d(2) in the encoder-decoder,
+// autoencoder and UNet benchmarks.
+type Upsample2x struct {
+	inShape []int
+}
+
+// NewUpsample2x returns a 2× nearest-neighbour upsampler.
+func NewUpsample2x() *Upsample2x { return &Upsample2x{} }
+
+// Forward repeats every pixel into a 2×2 block.
+func (u *Upsample2x) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape4(x, "Upsample2x")
+	bd, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	u.inShape = x.Shape()
+	out := tensor.New(bd, ch, 2*h, 2*w)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			for i := 0; i < h; i++ {
+				src := xd[((b*ch+c)*h+i)*w : ((b*ch+c)*h+i+1)*w]
+				for di := 0; di < 2; di++ {
+					dst := od[((b*ch+c)*2*h+2*i+di)*2*w : ((b*ch+c)*2*h+2*i+di+1)*2*w]
+					for j, v := range src {
+						dst[2*j] = v
+						dst[2*j+1] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward sums each 2×2 block's gradients.
+func (u *Upsample2x) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bd, ch, h, w := u.inShape[0], u.inShape[1], u.inShape[2], u.inShape[3]
+	dx := tensor.New(u.inShape...)
+	gd, dd := grad.Data(), dx.Data()
+	for b := 0; b < bd; b++ {
+		for c := 0; c < ch; c++ {
+			for i := 0; i < h; i++ {
+				for j := 0; j < w; j++ {
+					var s float32
+					for di := 0; di < 2; di++ {
+						for dj := 0; dj < 2; dj++ {
+							s += gd[((b*ch+c)*2*h+2*i+di)*2*w+2*j+dj]
+						}
+					}
+					dd[((b*ch+c)*h+i)*w+j] = s
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: upsampling has no parameters.
+func (u *Upsample2x) Params() []*Param { return nil }

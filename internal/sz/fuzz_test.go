@@ -1,0 +1,40 @@
+package sz
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzDecompress hardens the SZ stream decoder: arbitrary bytes must
+// produce an error or a finite reconstruction, never a panic.
+func FuzzDecompress(f *testing.F) {
+	c, err := New(1e-2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := tensor.NewRNG(1)
+	valid, err := c.Compress(r.Uniform(0, 1, 8, 8))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[10] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := c.Decompress(data, 8, 8)
+		if err != nil {
+			return
+		}
+		for _, v := range out.Data() {
+			if math.IsNaN(float64(v)) {
+				t.Fatal("NaN from arbitrary stream")
+			}
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package sz implements a compact error-bounded lossy compressor in the
+// style of SZ (Di & Cappello, IPDPS 2016; §2.2 of the paper): a
+// first-order 2-D Lorenzo predictor, linear-scale quantization of the
+// prediction residual against a user-set absolute error bound, Huffman
+// coding of the quantization codes, and verbatim storage of
+// unpredictable values.
+//
+// It is the "error-bounded" counterpart to the fixed-rate ZFP baseline:
+// the user bounds the pointwise error and the rate follows from the
+// data, the opposite trade of DCT+Chop's compile-time fixed ratio —
+// which is exactly why SZ-style codecs cannot run on the paper's
+// accelerators (data-dependent sizes, bit-level encoding) and live here
+// as a host reference.
+package sz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/vle"
+)
+
+// Codec is an error-bounded compressor. Every reconstructed value is
+// within ErrorBound of its original (absolute error).
+type Codec struct {
+	// ErrorBound is the absolute pointwise bound ε.
+	ErrorBound float64
+	// Bins is the quantization-code radius: residuals within
+	// ±Bins·2ε are predictable, the rest stored verbatim.
+	Bins int
+}
+
+// New returns a codec with the given absolute error bound and the
+// standard 65536-bin radius.
+func New(errorBound float64) (*Codec, error) {
+	if errorBound <= 0 || math.IsNaN(errorBound) || math.IsInf(errorBound, 0) {
+		return nil, fmt.Errorf("sz: error bound %g must be positive and finite", errorBound)
+	}
+	return &Codec{ErrorBound: errorBound, Bins: 1 << 16}, nil
+}
+
+const magic = 0x535A3244 // "SZ2D"
+
+// Compress encodes every trailing 2-D plane of x.
+func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
+	if x.Dims() < 2 {
+		return nil, fmt.Errorf("sz: need at least 2-D input, got %v", x.Shape())
+	}
+	h, w := x.Dim(-2), x.Dim(-1)
+	if h == 0 || w == 0 {
+		return nil, fmt.Errorf("sz: empty plane %dx%d", h, w)
+	}
+	planes := x.Len() / (h * w)
+	// The unpredictable sentinel sits just past the code radius.
+	sentinel := c.Bins + 1
+	// Quantize against the bound exactly as the decompressor will see
+	// it (stored as float32); the guard below still enforces the user's
+	// full-precision bound.
+	eb := float64(float32(c.ErrorBound))
+
+	codeRows := make([][]int, 0, planes*h)
+	var raws []float32
+	recon := make([]float32, h*w) // decompressor-consistent state
+	for p := 0; p < planes; p++ {
+		plane := x.Data()[p*h*w : (p+1)*h*w]
+		for i := 0; i < h; i++ {
+			row := make([]int, w)
+			for j := 0; j < w; j++ {
+				pred := lorenzo(recon, i, j, w)
+				v := float64(plane[i*w+j])
+				q := math.Round((v - float64(pred)) / (2 * eb))
+				if math.Abs(q) <= float64(c.Bins) {
+					rec := float64(pred) + 2*eb*q
+					// Guard against float32 rounding pushing the
+					// reconstruction outside the bound.
+					if r32 := float32(rec); math.Abs(float64(r32)-v) <= c.ErrorBound {
+						row[j] = int(q)
+						recon[i*w+j] = r32
+						continue
+					}
+				}
+				row[j] = sentinel
+				raws = append(raws, plane[i*w+j])
+				recon[i*w+j] = plane[i*w+j]
+			}
+			codeRows = append(codeRows, row)
+		}
+	}
+	codeStream, err := vle.Encode(codeRows)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, 0, 32+len(codeStream)+4*len(raws))
+	hdr := make([]byte, 4)
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(hdr, v)
+		out = append(out, hdr...)
+	}
+	put(magic)
+	put(math.Float32bits(float32(c.ErrorBound)))
+	put(uint32(planes))
+	put(uint32(h))
+	put(uint32(w))
+	put(uint32(len(codeStream)))
+	put(uint32(len(raws)))
+	out = append(out, codeStream...)
+	for _, v := range raws {
+		put(math.Float32bits(v))
+	}
+	return out, nil
+}
+
+// Decompress reconstructs a tensor of the given shape.
+func (c *Codec) Decompress(data []byte, shape ...int) (*tensor.Tensor, error) {
+	get := func(off int) (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("sz: truncated stream at byte %d", off)
+		}
+		return binary.LittleEndian.Uint32(data[off:]), nil
+	}
+	m, err := get(0)
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("sz: bad magic %#x", m)
+	}
+	ebBits, err := get(4)
+	if err != nil {
+		return nil, err
+	}
+	eb := float64(math.Float32frombits(ebBits))
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("sz: invalid stored error bound %g", eb)
+	}
+	var planes32, h32, w32, codeLen, rawLen uint32
+	for i, dst := range []*uint32{&planes32, &h32, &w32, &codeLen, &rawLen} {
+		v, err := get(8 + 4*i)
+		if err != nil {
+			return nil, err
+		}
+		*dst = v
+	}
+	planes, h, w := int(planes32), int(h32), int(w32)
+	out := tensor.New(shape...)
+	if out.Dims() < 2 || out.Dim(-2) != h || out.Dim(-1) != w || out.Len() != planes*h*w {
+		return nil, fmt.Errorf("sz: shape %v does not match stream (%d planes of %dx%d)", shape, planes, h, w)
+	}
+	body := 28
+	if body+int(codeLen) > len(data) {
+		return nil, fmt.Errorf("sz: truncated code stream")
+	}
+	codeRows, err := vle.Decode(data[body : body+int(codeLen)])
+	if err != nil {
+		return nil, err
+	}
+	if len(codeRows) != planes*h {
+		return nil, fmt.Errorf("sz: %d code rows, want %d", len(codeRows), planes*h)
+	}
+	rawOff := body + int(codeLen)
+	if rawOff+4*int(rawLen) > len(data) {
+		return nil, fmt.Errorf("sz: truncated raw-value section")
+	}
+	raws := make([]float32, rawLen)
+	for i := range raws {
+		raws[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[rawOff+4*i:]))
+	}
+
+	sentinel := c.Bins + 1
+	rawIx := 0
+	recon := make([]float32, h*w)
+	for p := 0; p < planes; p++ {
+		plane := out.Data()[p*h*w : (p+1)*h*w]
+		for i := 0; i < h; i++ {
+			row := codeRows[p*h+i]
+			if len(row) != w {
+				return nil, fmt.Errorf("sz: code row width %d, want %d", len(row), w)
+			}
+			for j := 0; j < w; j++ {
+				q := row[j]
+				if q == sentinel {
+					if rawIx >= len(raws) {
+						return nil, fmt.Errorf("sz: raw-value section exhausted")
+					}
+					recon[i*w+j] = raws[rawIx]
+					rawIx++
+				} else {
+					pred := lorenzo(recon, i, j, w)
+					recon[i*w+j] = float32(float64(pred) + 2*eb*float64(q))
+				}
+				plane[i*w+j] = recon[i*w+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// RoundTrip compresses and decompresses, returning the reconstruction
+// and compressed size.
+func (c *Codec) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	data, err := c.Compress(x)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := c.Decompress(data, x.Shape()...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(data), nil
+}
+
+// lorenzo is the first-order 2-D Lorenzo predictor over the
+// reconstructed plane: west + north − northwest, degrading gracefully at
+// the plane borders.
+func lorenzo(recon []float32, i, j, w int) float32 {
+	switch {
+	case i == 0 && j == 0:
+		return 0
+	case i == 0:
+		return recon[j-1]
+	case j == 0:
+		return recon[(i-1)*w]
+	default:
+		return recon[i*w+j-1] + recon[(i-1)*w+j] - recon[(i-1)*w+j-1]
+	}
+}

@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseIdentity(t *testing.T) {
+	inv, err := Inverse(Eye(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inv.MaxAbsDiff(Eye(5)); d > 1e-6 {
+		t.Fatalf("I⁻¹ deviates from I by %g", d)
+	}
+}
+
+func TestInverseKnown2x2(t *testing.T) {
+	a := FromSlice([]float32{4, 7, 2, 6}, 2, 2) // det = 10
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromSlice([]float32{0.6, -0.7, -0.2, 0.4}, 2, 2)
+	if d := inv.MaxAbsDiff(want); d > 1e-6 {
+		t.Fatalf("2x2 inverse wrong by %g: %v", d, inv.Data())
+	}
+}
+
+func TestInverseSingularFails(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 2, 4}, 2, 2)
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("singular matrix must be rejected")
+	}
+	if _, err := Inverse(New(2, 3)); err == nil {
+		t.Fatal("non-square must be rejected")
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal: only works with partial pivoting.
+	a := FromSlice([]float32{0, 1, 1, 0}, 2, 2)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MatMul(a, inv).MaxAbsDiff(Eye(2)); d > 1e-6 {
+		t.Fatalf("pivoted inverse wrong by %g", d)
+	}
+}
+
+// Property: A·A⁻¹ = I for random well-conditioned matrices.
+func TestInverseProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%6) + 1
+		r := NewRNG(seed)
+		// Diagonally dominant ⇒ invertible and well-conditioned.
+		a := r.Uniform(-1, 1, n, n)
+		for i := 0; i < n; i++ {
+			a.Set2(a.At2(i, i)+float32(n)+1, i, i)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return MatMul(a, inv).MaxAbsDiff(Eye(n)) < 1e-4 &&
+			MatMul(inv, a).MaxAbsDiff(Eye(n)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

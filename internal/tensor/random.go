@@ -1,0 +1,104 @@
+package tensor
+
+import "math"
+
+// RNG is a small, deterministic xorshift64* generator. Every experiment
+// in this repository seeds its own RNG so that datasets, weight
+// initializations and reported numbers are exactly reproducible run to
+// run (math/rand's global state would couple experiments to each other).
+type RNG struct {
+	state uint64
+	// spare holds the second Box-Muller normal deviate between calls.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped so the
+// xorshift state is never the fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform deviate in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform deviate in [0,1).
+func (r *RNG) Float32() float32 { return float32(r.Float64()) }
+
+// Intn returns a uniform integer in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal deviate (Box-Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Uniform fills a new tensor of the given shape with uniform deviates in
+// [lo, hi).
+func (r *RNG) Uniform(lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*r.Float32()
+	}
+	return t
+}
+
+// Normal fills a new tensor with normal deviates of the given mean and
+// standard deviation.
+func (r *RNG) Normal(mean, std float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*float32(r.Norm())
+	}
+	return t
+}

@@ -1,0 +1,244 @@
+// Package tensor implements a dense float32 N-dimensional tensor with the
+// operations the DCT+Chop compressor and the neural-network training
+// substrate require: parallel blocked matrix multiplication, batched
+// matmul, gather/scatter, reshape/chunk/cat, elementwise arithmetic and
+// reductions.
+//
+// Tensors are always contiguous and row-major. All device arithmetic in
+// this repository is float32, matching the paper's portability choice of
+// 32-bit floats across every accelerator (§3.1 "Arithmetic Precision
+// Support"); float64 appears only in test reference implementations.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense, contiguous, row-major float32 array with a shape.
+// The zero value is an empty scalar-less tensor; use the constructors.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor of the given shape. It panics if any
+// dimension is negative; a zero-dimension yields an empty tensor.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: cloneInts(shape), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{shape: cloneInts(shape), data: data}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Tensor {
+	t := New(n, n)
+	for i := 0; i < n; i++ {
+		t.data[i*n+i] = 1
+	}
+	return t
+}
+
+// Arange returns a 1-D tensor [start, start+step, ...) of n elements.
+func Arange(start, step float32, n int) *Tensor {
+	t := New(n)
+	v := start
+	for i := 0; i < n; i++ {
+		t.data[i] = v
+		v += step
+	}
+	return t
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func cloneInts(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return cloneInts(t.shape) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i. Negative i counts from the end.
+func (t *Tensor) Dim(i int) int {
+	if i < 0 {
+		i += len(t.shape)
+	}
+	return t.shape[i]
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	data := make([]float32, len(t.data))
+	copy(data, t.data)
+	return &Tensor{shape: cloneInts(t.shape), data: data}
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element counts.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.shape, src.shape))
+	}
+	copy(t.data, src.data)
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// offset converts a multi-index to a flat offset.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, v := range idx {
+		if v < 0 || v >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + v
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+// At2 is the fast path for 2-D tensors.
+func (t *Tensor) At2(i, j int) float32 { return t.data[i*t.shape[1]+j] }
+
+// Set2 is the fast 2-D assignment path.
+func (t *Tensor) Set2(v float32, i, j int) { t.data[i*t.shape[1]+j] = v }
+
+// At4 is the fast path for 4-D (batch, channel, row, col) tensors.
+func (t *Tensor) At4(b, c, i, j int) float32 {
+	return t.data[((b*t.shape[1]+c)*t.shape[2]+i)*t.shape[3]+j]
+}
+
+// Set4 is the fast 4-D assignment path.
+func (t *Tensor) Set4(v float32, b, c, i, j int) {
+	t.data[((b*t.shape[1]+c)*t.shape[2]+i)*t.shape[3]+j] = v
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact element-wise equality (shapes must match).
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether every element of t is within tol of o.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		if math.Abs(float64(t.data[i])-float64(o.data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float64 {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	max := 0.0
+	for i := range t.data {
+		d := math.Abs(float64(t.data[i]) - float64(o.data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders small tensors in full and large ones as a summary.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 64 {
+		fmt.Fprintf(&b, " %v", t.data)
+	} else {
+		fmt.Fprintf(&b, " [%g %g %g ... %g] (%d elements)",
+			t.data[0], t.data[1], t.data[2], t.data[len(t.data)-1], len(t.data))
+	}
+	return b.String()
+}
+
+// SizeBytes returns the storage footprint in bytes (4 bytes per element),
+// which is what the throughput harness charges for host-device transfer.
+func (t *Tensor) SizeBytes() int { return 4 * len(t.data) }

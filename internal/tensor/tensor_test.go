@@ -1,0 +1,204 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestShapeIsCopied(t *testing.T) {
+	x := New(2, 3)
+	s := x.Shape()
+	s[0] = 99
+	if x.Dim(0) != 2 {
+		t.Fatal("Shape() must return a copy")
+	}
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 42
+	if x.At2(0, 0) != 42 {
+		t.Fatal("FromSlice must wrap the slice, not copy it")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "FromSlice with wrong length")
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetMultiIndex(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %g, want 7.5", got)
+	}
+	// Flat layout: ((1*3)+2)*4+3 = 23.
+	if x.Data()[23] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAt4MatchesAt(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	r := NewRNG(1)
+	for i := range x.Data() {
+		x.Data()[i] = r.Float32()
+	}
+	for b := 0; b < 2; b++ {
+		for c := 0; c < 3; c++ {
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 5; j++ {
+					if x.At4(b, c, i, j) != x.At(b, c, i, j) {
+						t.Fatalf("At4(%d,%d,%d,%d) disagrees with At", b, c, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer expectPanic(t, "out-of-range At")
+	x.At(2, 0)
+}
+
+func TestEye(t *testing.T) {
+	id := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := float32(0)
+			if i == j {
+				want = 1
+			}
+			if id.At2(i, j) != want {
+				t.Fatalf("Eye(3)[%d,%d] = %g", i, j, id.At2(i, j))
+			}
+		}
+	}
+}
+
+func TestArange(t *testing.T) {
+	x := Arange(1, 0.5, 4)
+	want := []float32{1, 1.5, 2, 2.5}
+	for i, w := range want {
+		if x.Data()[i] != w {
+			t.Fatalf("Arange[%d] = %g, want %g", i, x.Data()[i], w)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := Full(3, 2, 2)
+	y := x.Clone()
+	y.Set2(9, 0, 0)
+	if x.At2(0, 0) != 3 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("identical tensors must be Equal")
+	}
+	b.Set2(4.0001, 1, 1)
+	if a.Equal(b) {
+		t.Fatal("perturbed tensor must not be Equal")
+	}
+	if !a.AllClose(b, 1e-3) {
+		t.Fatal("perturbed tensor must be AllClose at 1e-3")
+	}
+	if a.AllClose(New(2, 3), 1e9) {
+		t.Fatal("AllClose must reject shape mismatch")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1.5, 1}, 2)
+	if d := a.MaxAbsDiff(b); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("MaxAbsDiff = %g, want 1", d)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	// The throughput harness charges 4 bytes per float32 element.
+	x := New(100, 3, 32, 32)
+	if x.SizeBytes() != 4*100*3*32*32 {
+		t.Fatalf("SizeBytes = %d", x.SizeBytes())
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}
+
+func TestCopyFromZeroFill(t *testing.T) {
+	a := Full(3, 2, 2)
+	b := New(2, 2)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom must copy values")
+	}
+	b.Fill(7)
+	if b.At2(0, 0) != 7 {
+		t.Fatal("Fill failed")
+	}
+	b.Zero()
+	if b.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+	defer expectPanic(t, "CopyFrom size mismatch")
+	b.CopyFrom(New(3))
+}
+
+func TestSet4(t *testing.T) {
+	x := New(2, 2, 3, 3)
+	x.Set4(9, 1, 0, 2, 1)
+	if x.At(1, 0, 2, 1) != 9 {
+		t.Fatal("Set4 wrote the wrong cell")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if s := small.String(); !strings.Contains(s, "Tensor[2]") || !strings.Contains(s, "1") {
+		t.Fatalf("small String = %q", s)
+	}
+	big := New(100)
+	if s := big.String(); !strings.Contains(s, "100 elements") {
+		t.Fatalf("big String = %q", s)
+	}
+}
+
+func TestMeanEmptyAndIntnPanic(t *testing.T) {
+	if New(0).Mean() != 0 {
+		t.Fatal("empty Mean must be 0")
+	}
+	r := NewRNG(0) // zero seed remaps internally
+	if r.Intn(5) < 0 {
+		t.Fatal("Intn out of range")
+	}
+	defer expectPanic(t, "Intn(0)")
+	r.Intn(0)
+}

@@ -1,0 +1,86 @@
+package vle
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzDecode hardens the Huffman/RLE decoder against arbitrary streams:
+// error or success, never a panic or runaway allocation.
+func FuzzDecode(f *testing.F) {
+	rng := tensor.NewRNG(1)
+	blocks := make([][]int, 4)
+	for b := range blocks {
+		block := make([]int, 64)
+		for k := 0; k < 5; k++ {
+			block[rng.Intn(16)] = rng.Intn(32) - 16
+		}
+		blocks[b] = block
+	}
+	valid, err := Encode(blocks)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	bitflip := append([]byte(nil), valid...)
+	bitflip[len(bitflip)/2] ^= 0x40
+	f.Add(bitflip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, err := Decode(data)
+		if err != nil {
+			return
+		}
+		for _, b := range blocks {
+			if len(b) > 1<<16 {
+				t.Fatal("implausible block size accepted")
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip: whatever integer content the coefficients
+// hold, Encode∘Decode must be the identity.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 8, 20)
+	f.Add(uint64(42), 1, 64)
+	f.Add(uint64(7), 3, 4)
+	f.Fuzz(func(t *testing.T, seed uint64, nblocks, size int) {
+		if nblocks < 1 || nblocks > 16 || size < 1 || size > 128 {
+			return
+		}
+		rng := tensor.NewRNG(seed)
+		blocks := make([][]int, nblocks)
+		for b := range blocks {
+			block := make([]int, size)
+			for i := range block {
+				if rng.Float64() < 0.4 {
+					block[i] = rng.Intn(4001) - 2000
+				}
+			}
+			blocks[b] = block
+		}
+		data, err := Encode(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != nblocks {
+			t.Fatalf("decoded %d blocks, want %d", len(back), nblocks)
+		}
+		for b := range blocks {
+			for i := range blocks[b] {
+				if back[b][i] != blocks[b][i] {
+					t.Fatalf("block %d pos %d: %d != %d", b, i, back[b][i], blocks[b][i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,428 @@
+// Package vle implements the variable-length encoding stage that JPEG
+// applies after quantization — zigzag traversal, run-length encoding of
+// zero runs, and canonical Huffman coding — as a host-side reference.
+//
+// It exists to quantify the design constraint at the heart of the paper
+// (§3.1, §3.2): VLE produces data-dependent sizes and needs the bit
+// operations the AI accelerators' PyTorch backends lack, so DCT+Chop
+// trades the extra compression VLE would buy for fixed compile-time
+// shapes and two matmuls. The ablation bench compares chop, triangle
+// (SG) and zigzag+RLE+Huffman retention on the same coefficient data.
+package vle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+)
+
+// Symbol kinds in the RLE stream. Values are encoded as (run, value)
+// pairs; EOB terminates a block when only zeros remain.
+const (
+	symEOB = -32768 // end-of-block marker in the symbol alphabet
+	// maxRun caps zero-run length per symbol (longer runs split).
+	maxRun = 15
+)
+
+// rleToken is one (zero-run, value) pair.
+type rleToken struct {
+	run   int // zeros preceding value, ≤ maxRun
+	value int // nonzero coefficient, or symEOB
+}
+
+// rleEncode converts one zigzagged coefficient block to tokens.
+func rleEncode(coeffs []int) []rleToken {
+	var toks []rleToken
+	run := 0
+	last := -1
+	for i, v := range coeffs {
+		if v != 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		v := coeffs[i]
+		if v == 0 {
+			run++
+			if run == maxRun {
+				// Emit a pure-run token for exactly maxRun zeros.
+				toks = append(toks, rleToken{maxRun, 0})
+				run = 0
+			}
+			continue
+		}
+		toks = append(toks, rleToken{run, v})
+		run = 0
+	}
+	toks = append(toks, rleToken{0, symEOB})
+	return toks
+}
+
+// rleDecode expands tokens back to a block of the given size.
+func rleDecode(toks []rleToken, size int) ([]int, int, error) {
+	out := make([]int, size)
+	pos := 0
+	used := 0
+	for _, t := range toks {
+		used++
+		if t.value == symEOB {
+			return out, used, nil
+		}
+		pos += t.run
+		if t.value == 0 { // pure run extension token
+			continue
+		}
+		if pos >= size {
+			return nil, 0, fmt.Errorf("vle: run overflows block (%d ≥ %d)", pos, size)
+		}
+		out[pos] = t.value
+		pos++
+	}
+	return nil, 0, fmt.Errorf("vle: missing end-of-block")
+}
+
+// tokenSymbol maps a token to a Huffman alphabet symbol: the pair
+// (run, value) packed — value bucketed by magnitude category as in JPEG
+// (category = bit length), with the remainder bits written raw.
+func tokenSymbol(t rleToken) (sym int, extra uint64, extraBits uint) {
+	if t.value == symEOB {
+		return 0, 0, 0
+	}
+	if t.value == 0 {
+		// Pure run-extension token: category 0, no extra bits (the
+		// decoder's cat==0 path reads none).
+		return 1 + t.run*32, 0, 0
+	}
+	v := t.value
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	cat := 0
+	for m := v; m > 0; m >>= 1 {
+		cat++
+	}
+	// Symbol packs run (4 bits) and category (5 bits); symbol 0 = EOB.
+	sym = 1 + t.run*32 + cat
+	extra = uint64(v)
+	if neg {
+		extra |= 1 << uint(cat) // sign bit above the magnitude
+	}
+	return sym, extra, uint(cat) + 1
+}
+
+// maxSymbol bounds the alphabet: runs ≤ 15, categories ≤ 31.
+const maxSymbol = 1 + 15*32 + 31
+
+// symbolToken inverts tokenSymbol given the symbol and its extra bits.
+func symbolToken(sym int, read func(bits uint) (uint64, error)) (rleToken, error) {
+	if sym < 0 || sym > maxSymbol {
+		return rleToken{}, fmt.Errorf("vle: symbol %d outside alphabet", sym)
+	}
+	if sym == 0 {
+		return rleToken{0, symEOB}, nil
+	}
+	sym--
+	run := sym / 32
+	cat := sym % 32
+	if cat == 0 {
+		return rleToken{run, 0}, nil
+	}
+	raw, err := read(uint(cat) + 1)
+	if err != nil {
+		return rleToken{}, err
+	}
+	v := int(raw & ((1 << uint(cat)) - 1))
+	if raw&(1<<uint(cat)) != 0 {
+		v = -v
+	}
+	return rleToken{run, v}, nil
+}
+
+// Encode compresses blocks of zigzagged integer coefficients with
+// RLE + canonical Huffman. All blocks must have the same length.
+func Encode(blocks [][]int) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("vle: no blocks")
+	}
+	// Tokenize everything and build the symbol histogram.
+	var allToks [][]rleToken
+	freq := map[int]int{}
+	for _, b := range blocks {
+		toks := rleEncode(b)
+		allToks = append(allToks, toks)
+		for _, t := range toks {
+			sym, _, _ := tokenSymbol(t)
+			freq[sym]++
+		}
+	}
+	code, err := buildCanonical(freq)
+	if err != nil {
+		return nil, err
+	}
+	w := bitstream.NewWriter()
+	writeHeader(w, len(blocks), len(blocks[0]), code)
+	for _, toks := range allToks {
+		for _, t := range toks {
+			sym, extra, extraBits := tokenSymbol(t)
+			c := code.codes[sym]
+			w.WriteBits(c.bits, c.len)
+			if extraBits > 0 {
+				w.WriteBits(extra, extraBits)
+			}
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([][]int, error) {
+	r := bitstream.NewReader(data)
+	nblocks, size, code, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	// Sanity bounds against hostile headers: every block costs at least
+	// one bit (its EOB symbol), so the stream length caps the count.
+	if nblocks < 1 || nblocks > r.Remaining() {
+		return nil, fmt.Errorf("vle: implausible block count %d for %d remaining bits", nblocks, r.Remaining())
+	}
+	const maxBlockSize = 1 << 14
+	if size < 1 || size > maxBlockSize {
+		return nil, fmt.Errorf("vle: implausible block size %d", size)
+	}
+	out := make([][]int, 0, min(nblocks, 1024))
+	for b := 0; b < nblocks; b++ {
+		var toks []rleToken
+		for {
+			sym, err := code.read(r)
+			if err != nil {
+				return nil, err
+			}
+			tok, err := symbolToken(sym, r.ReadBits)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			if tok.value == symEOB {
+				break
+			}
+		}
+		block, _, err := rleDecode(toks, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block)
+	}
+	return out, nil
+}
+
+// canonical is a canonical Huffman code over the symbol alphabet.
+type canonical struct {
+	// lens[sym] is the code length; codes[sym] the left-aligned code.
+	lens  map[int]uint
+	codes map[int]struct {
+		bits uint64
+		len  uint
+	}
+	// Decoding tables: symbols sorted by (len, sym) with first-code
+	// offsets per length.
+	sorted  []int
+	firstAt map[uint]uint64
+	countAt map[uint]int
+	indexAt map[uint]int
+	maxLen  uint
+}
+
+// buildCanonical constructs a length-limited (≤ 32) canonical code from
+// symbol frequencies using package-merge-free Huffman (plain heapless
+// two-queue build on sorted frequencies; alphabet is small).
+func buildCanonical(freq map[int]int) (*canonical, error) {
+	type node struct {
+		w           int
+		sym         int
+		left, right *node
+	}
+	var leaves []*node
+	for sym, f := range freq {
+		leaves = append(leaves, &node{w: f, sym: sym})
+	}
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("vle: empty alphabet")
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		if leaves[i].w != leaves[j].w {
+			return leaves[i].w < leaves[j].w
+		}
+		return leaves[i].sym < leaves[j].sym
+	})
+	lens := map[int]uint{}
+	if len(leaves) == 1 {
+		lens[leaves[0].sym] = 1
+	} else {
+		// Two-queue Huffman: leaves queue + internal-nodes queue.
+		internal := make([]*node, 0, len(leaves))
+		li, ii := 0, 0
+		pop := func() *node {
+			if li < len(leaves) && (ii >= len(internal) || leaves[li].w <= internal[ii].w) {
+				li++
+				return leaves[li-1]
+			}
+			ii++
+			return internal[ii-1]
+		}
+		remaining := len(leaves)
+		for remaining > 1 {
+			a := pop()
+			b := pop()
+			internal = append(internal, &node{w: a.w + b.w, left: a, right: b})
+			remaining--
+		}
+		root := internal[len(internal)-1]
+		var walk func(n *node, depth uint)
+		walk = func(n *node, depth uint) {
+			if n.left == nil {
+				if depth == 0 {
+					depth = 1
+				}
+				lens[n.sym] = depth
+				return
+			}
+			walk(n.left, depth+1)
+			walk(n.right, depth+1)
+		}
+		walk(root, 0)
+	}
+	return canonicalFromLengths(lens)
+}
+
+// canonicalFromLengths assigns canonical codes given code lengths.
+func canonicalFromLengths(lens map[int]uint) (*canonical, error) {
+	c := &canonical{
+		lens: lens,
+		codes: map[int]struct {
+			bits uint64
+			len  uint
+		}{},
+		firstAt: map[uint]uint64{},
+		countAt: map[uint]int{},
+		indexAt: map[uint]int{},
+	}
+	for sym, l := range lens {
+		if l == 0 || l > 32 {
+			return nil, fmt.Errorf("vle: bad code length %d for symbol %d", l, sym)
+		}
+		c.sorted = append(c.sorted, sym)
+		if l > c.maxLen {
+			c.maxLen = l
+		}
+		c.countAt[l]++
+	}
+	sort.Slice(c.sorted, func(i, j int) bool {
+		li, lj := lens[c.sorted[i]], lens[c.sorted[j]]
+		if li != lj {
+			return li < lj
+		}
+		return c.sorted[i] < c.sorted[j]
+	})
+	var code uint64
+	index := 0
+	for l := uint(1); l <= c.maxLen; l++ {
+		c.firstAt[l] = code
+		c.indexAt[l] = index
+		code += uint64(c.countAt[l])
+		index += c.countAt[l]
+		code <<= 1
+	}
+	// Assign codes sequentially within each length class.
+	next := map[uint]uint64{}
+	for l, f := range c.firstAt {
+		next[l] = f
+	}
+	for _, sym := range c.sorted {
+		l := lens[sym]
+		c.codes[sym] = struct {
+			bits uint64
+			len  uint
+		}{next[l], l}
+		next[l]++
+	}
+	return c, nil
+}
+
+// read decodes one symbol from the stream.
+func (c *canonical) read(r *bitstream.Reader) (int, error) {
+	var code uint64
+	for l := uint(1); l <= c.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint64(b)
+		count := c.countAt[l]
+		if count == 0 {
+			continue
+		}
+		first := c.firstAt[l]
+		if code >= first && code < first+uint64(count) {
+			return c.sorted[c.indexAt[l]+int(code-first)], nil
+		}
+	}
+	return 0, fmt.Errorf("vle: invalid Huffman code")
+}
+
+// writeHeader persists block count, block size and the code lengths.
+func writeHeader(w *bitstream.Writer, nblocks, size int, c *canonical) {
+	w.WriteBits(uint64(nblocks), 32)
+	w.WriteBits(uint64(size), 16)
+	w.WriteBits(uint64(len(c.sorted)), 16)
+	for _, sym := range c.sorted {
+		w.WriteBits(uint64(uint16(sym)), 16)
+		w.WriteBits(uint64(c.lens[sym]), 6)
+	}
+}
+
+// readHeader reverses writeHeader.
+func readHeader(r *bitstream.Reader) (nblocks, size int, c *canonical, err error) {
+	nb, err := r.ReadBits(32)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	sz, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	nsym, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	lens := map[int]uint{}
+	for i := 0; i < int(nsym); i++ {
+		sym, err := r.ReadBits(16)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		symVal := int(sym)
+		if symVal > maxSymbol {
+			return 0, 0, nil, fmt.Errorf("vle: symbol %d outside alphabet", symVal)
+		}
+		lens[symVal] = uint(l)
+	}
+	c, err = canonicalFromLengths(lens)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return int(nb), int(sz), c, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package vle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]int{
+		{0, 0, 0, 0},
+		{5, 0, 0, -3, 0, 0, 0, 1},
+		{1, 2, 3, 4},
+		{0, 0, 0, 0, 0, 0, 0, 9},
+		make([]int, 64), // all zeros, JPEG-sized
+	}
+	for _, block := range cases {
+		toks := rleEncode(block)
+		back, used, err := rleDecode(toks, len(block))
+		if err != nil {
+			t.Fatalf("%v: %v", block, err)
+		}
+		if used != len(toks) {
+			t.Fatalf("%v: used %d of %d tokens", block, used, len(toks))
+		}
+		for i := range block {
+			if back[i] != block[i] {
+				t.Fatalf("%v round-tripped to %v", block, back)
+			}
+		}
+	}
+}
+
+func TestRLELongZeroRuns(t *testing.T) {
+	block := make([]int, 64)
+	block[40] = 7 // 40 zeros then a value: needs run splitting (>15)
+	toks := rleEncode(block)
+	back, _, err := rleDecode(toks, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[40] != 7 {
+		t.Fatalf("long-run decode: %v", back[35:45])
+	}
+}
+
+func TestTokenSymbolRoundTrip(t *testing.T) {
+	for _, tok := range []rleToken{
+		{0, symEOB}, {0, 1}, {3, -1}, {15, 1023}, {7, -512}, {15, 0},
+	} {
+		sym, extra, bits := tokenSymbol(tok)
+		var pos uint
+		read := func(n uint) (uint64, error) {
+			if n != bits {
+				t.Fatalf("token %v: read %d bits, wrote %d", tok, n, bits)
+			}
+			pos += n
+			return extra, nil
+		}
+		back, err := symbolToken(sym, read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != tok {
+			t.Fatalf("token %v → sym %d → %v", tok, sym, back)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	blocks := make([][]int, 50)
+	for b := range blocks {
+		block := make([]int, 64)
+		// Sparse, JPEG-like: a few low-index nonzeros.
+		for k := 0; k < 6; k++ {
+			block[rng.Intn(16)] = rng.Intn(64) - 32
+		}
+		blocks[b] = block
+	}
+	data, err := Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(blocks) {
+		t.Fatalf("decoded %d blocks, want %d", len(back), len(blocks))
+	}
+	for b := range blocks {
+		for i := range blocks[b] {
+			if back[b][i] != blocks[b][i] {
+				t.Fatalf("block %d position %d: %d != %d", b, i, back[b][i], blocks[b][i])
+			}
+		}
+	}
+}
+
+func TestSparseDataCompresses(t *testing.T) {
+	// The motivation for VLE: sparse quantized blocks compress far below
+	// their raw size.
+	blocks := make([][]int, 100)
+	for b := range blocks {
+		block := make([]int, 64)
+		block[0] = 12 + b%5 // DC only
+		blocks[b] = block
+	}
+	data, err := Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes := 100 * 64 * 4
+	if len(data)*8 > rawBytes {
+		t.Fatalf("VLE output %d bytes larger than raw/8 %d", len(data), rawBytes/8)
+	}
+}
+
+func TestDenseDataStillRoundTrips(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	blocks := make([][]int, 10)
+	for b := range blocks {
+		block := make([]int, 16)
+		for i := range block {
+			block[i] = rng.Intn(2001) - 1000
+		}
+		blocks[b] = block
+	}
+	data, err := Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range blocks {
+		for i := range blocks[b] {
+			if back[b][i] != blocks[b][i] {
+				t.Fatal("dense round trip failed")
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsEmpty(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+// Property: any block set round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawSize uint8) bool {
+		rng := tensor.NewRNG(seed)
+		nblocks := int(rawN%8) + 1
+		size := int(rawSize%60) + 4
+		blocks := make([][]int, nblocks)
+		for b := range blocks {
+			block := make([]int, size)
+			for i := range block {
+				if rng.Float64() < 0.3 {
+					block[i] = rng.Intn(513) - 256
+				}
+			}
+			blocks[b] = block
+		}
+		data, err := Encode(blocks)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		for b := range blocks {
+			for i := range blocks[b] {
+				if back[b][i] != blocks[b][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
