@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/accel/platforms"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dct"
@@ -26,7 +27,6 @@ import (
 	"repro/internal/jpegq"
 	"repro/internal/tensor"
 	"repro/internal/vle"
-	"repro/internal/zfp"
 )
 
 // benchBatch builds the standard workload at a reduced batch size (the
@@ -281,13 +281,13 @@ func BenchmarkAblationTransform(b *testing.B) {
 		}
 	})
 	b.Run("zfp-block", func(b *testing.B) {
-		codec, err := zfp.New(8) // CR 4, matching chop CF=4
+		c, err := codec.New("zfp:rate=8") // CR 4, matching chop CF=4
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(x.SizeBytes()))
 		for i := 0; i < b.N; i++ {
-			if _, _, err := codec.RoundTrip(x); err != nil {
+			if _, _, err := c.RoundTrip(x); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -387,19 +387,20 @@ func BenchmarkAblationSerial(b *testing.B) {
 	}
 }
 
-// BenchmarkZFPCodec measures the baseline codec itself.
+// BenchmarkZFPCodec measures the baseline codec itself, selected
+// through the registry the way every consumer now reaches it.
 func BenchmarkZFPCodec(b *testing.B) {
 	x := benchBatch(4, 1, 64)
 	for _, rate := range []float64{2, 8, 16} {
 		rate := rate
 		b.Run(fmt.Sprintf("rate%g", rate), func(b *testing.B) {
-			codec, err := zfp.New(rate)
+			c, err := codec.New(fmt.Sprintf("zfp:rate=%g", rate))
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(x.SizeBytes()))
 			for i := 0; i < b.N; i++ {
-				if _, _, err := codec.RoundTrip(x); err != nil {
+				if _, _, err := c.RoundTrip(x); err != nil {
 					b.Fatal(err)
 				}
 			}

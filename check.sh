@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repository gate: formatting, vet, build, and the race-enabled internal
+# test suite. Run from the repo root; exits nonzero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./internal/...
+echo "check.sh: all green"

@@ -1,26 +1,35 @@
-// Command acc-compress applies the DCT+Chop compressor to raw float32
-// tensor files, round-tripping on the host or on any of the simulated
-// accelerators.
+// Command acc-compress compresses raw float32 tensor files with any
+// registered codec, producing self-describing container files that
+// decompress with no out-of-band configuration, and round-trips
+// batches on the host or on any of the simulated accelerators.
 //
-// Input format: raw little-endian float32 values of a [BD, C, n, n]
-// batch (the dimensions are given by flags).
+// The codec is picked by a spec string ("family:key=val,flag"):
+//
+//	dctc:cf=4,s=2,sg   zfp:rate=8   sz:eb=1e-3   jpegq:q=50
+//
+// Input format for compress/roundtrip: raw little-endian float32
+// values of a [BD, C, n, n] batch (dimensions given by flags).
+// Decompress needs no shape or codec flags — the container header
+// carries both.
 //
 // Usage:
 //
-//	acc-compress -mode compress   -in batch.f32 -out batch.dctc -bd 10 -c 3 -n 64 -cf 4
-//	acc-compress -mode decompress -in batch.dctc -out restored.f32
-//	acc-compress -mode roundtrip  -in batch.f32 -bd 10 -c 3 -n 64 -cf 4 -device CS-2
+//	acc-compress -mode compress   -in batch.f32 -out batch.accf -bd 10 -c 3 -n 64 -codec zfp:rate=8
+//	acc-compress -mode decompress -in batch.accf -out restored.f32
+//	acc-compress -mode roundtrip  -in batch.f32 -bd 10 -c 3 -n 64 -codec dctc:cf=4 -device CS-2
+//
+// The legacy DCT+Chop flags (-cf, -s, -sg, -transform) still work and
+// map onto a dctc spec when -codec is not given.
 package main
 
 import (
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
 	"repro/internal/accel/platforms"
-	"repro/internal/core"
+	"repro/internal/codec"
+	"repro/internal/codec/tensorio"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
@@ -33,10 +42,11 @@ func main() {
 		bd     = flag.Int("bd", 1, "batch size")
 		ch     = flag.Int("c", 1, "channels")
 		n      = flag.Int("n", 0, "resolution (images are n x n)")
-		cf     = flag.Int("cf", 4, "chop factor (1-8)")
-		sg     = flag.Bool("sg", false, "use the scatter/gather triangle variant")
-		serial = flag.Int("s", 1, "partial-serialization factor")
-		trans  = flag.String("transform", "dct8", "block transform: dct8 | zfp4")
+		spec   = flag.String("codec", "", `codec spec, e.g. "dctc:cf=4,s=2,sg" or "zfp:rate=8"`)
+		cf     = flag.Int("cf", 4, "legacy: chop factor (1-8)")
+		sg     = flag.Bool("sg", false, "legacy: scatter/gather triangle variant")
+		serial = flag.Int("s", 1, "legacy: partial-serialization factor")
+		trans  = flag.String("transform", "dct8", "legacy: block transform: dct8 | zfp4")
 		device = flag.String("device", "", "simulate on a device (CS-2, SN30, GroqChip, IPU, A100)")
 	)
 	flag.Parse()
@@ -48,38 +58,34 @@ func main() {
 	switch *mode {
 	case "compress":
 		x := readTensor(*in, *bd, *ch, *n)
-		comp := newCompressor(*cf, *sg, *serial, *n, *trans)
-		y, err := comp.Compress(x)
+		c := newCodec(*spec, *cf, *sg, *serial, *trans)
+		data, err := c.Compress(x)
 		check(err)
-		f, err := os.Create(*out)
-		check(err)
-		defer f.Close()
-		_, err = y.WriteTo(f)
-		check(err)
-		fmt.Printf("compressed %d bytes -> %d bytes (ratio %.2f)\n",
-			y.OriginalBytes(), y.CompressedBytes(), y.EffectiveRatio())
+		check(os.WriteFile(*out, data, 0o644))
+		fmt.Printf("%s: compressed %d bytes -> %d bytes (ratio %.2f)\n",
+			c.Spec(), x.SizeBytes(), len(data), float64(x.SizeBytes())/float64(len(data)))
 
 	case "decompress":
-		f, err := os.Open(*in)
+		// Fully self-describing: codec and shape come from the container
+		// header, so no -codec or shape flags are needed (or consulted).
+		x, c, err := codec.DecodeFile(*in)
 		check(err)
-		y, err := core.ReadCompressed(f)
-		f.Close()
-		check(err)
-		comp, err := core.NewCompressor(y.Config, y.N)
-		check(err)
-		x, err := comp.Decompress(y)
-		check(err)
-		writeTensor(*out, x)
-		fmt.Printf("decompressed to %v (%d bytes)\n", x.Shape(), x.SizeBytes())
+		if *out == "" {
+			check(fmt.Errorf("missing -out"))
+		}
+		check(tensorio.WriteTensor(*out, x))
+		fmt.Printf("%s: decompressed to %v (%d bytes)\n", c.Spec(), x.Shape(), x.SizeBytes())
 
 	case "roundtrip":
 		x := readTensor(*in, *bd, *ch, *n)
-		comp := newCompressor(*cf, *sg, *serial, *n, *trans)
+		c := newCodec(*spec, *cf, *sg, *serial, *trans)
 		if *device != "" {
 			dev := platforms.ByName(*device)
 			if dev == nil {
 				check(fmt.Errorf("unknown device %q", *device))
 			}
+			comp, err := codec.Compiler(c, *n)
+			check(err)
 			cg, err := comp.BuildCompressGraph(*bd, *ch)
 			check(err)
 			prog, err := dev.Compile(cg)
@@ -89,13 +95,13 @@ func main() {
 			fmt.Printf("%s: simulated compression %v (%.2f GB/s)\n",
 				dev.Name(), stats.SimTime, stats.ThroughputGBs(x.SizeBytes()))
 		}
-		back, err := comp.RoundTrip(x)
+		back, bytes, err := c.RoundTrip(x)
 		check(err)
-		fmt.Printf("config: %s\n", comp.Config())
+		fmt.Printf("codec: %s (%d payload bytes)\n", c.Spec(), bytes)
 		fmt.Printf("PSNR: %.2f dB  MSE: %.6g  max error: %.6g\n",
 			metrics.PSNR(x, back), metrics.MSE(x, back), metrics.MaxError(x, back))
 		if *out != "" {
-			writeTensor(*out, back)
+			check(tensorio.WriteTensor(*out, back))
 		}
 
 	default:
@@ -103,46 +109,30 @@ func main() {
 	}
 }
 
-func newCompressor(cf int, sg bool, serial, n int, transform string) *core.Compressor {
-	cfg := core.Config{ChopFactor: cf, Serialization: serial}
-	if sg {
-		cfg.Mode = core.ModeSG
+// newCodec resolves the codec: an explicit -codec spec wins; otherwise
+// the legacy DCT+Chop flags are mapped onto an equivalent dctc spec.
+func newCodec(spec string, cf int, sg bool, serial int, transform string) codec.Codec {
+	if spec == "" {
+		spec = fmt.Sprintf("dctc:cf=%d", cf)
+		if serial > 1 {
+			spec += fmt.Sprintf(",s=%d", serial)
+		}
+		if sg {
+			spec += ",sg"
+		}
+		if transform != "" && transform != "dct8" {
+			spec += ",transform=" + transform
+		}
 	}
-	switch transform {
-	case "dct8", "":
-	case "zfp4":
-		cfg.Transform = core.TransformZFP4
-	default:
-		check(fmt.Errorf("unknown transform %q (want dct8 or zfp4)", transform))
-	}
-	comp, err := core.NewCompressor(cfg, n)
+	c, err := codec.New(spec)
 	check(err)
-	return comp
+	return c
 }
 
 func readTensor(path string, bd, ch, n int) *tensor.Tensor {
-	raw, err := os.ReadFile(path)
+	x, err := tensorio.ReadTensor(path, bd, ch, n, n)
 	check(err)
-	want := bd * ch * n * n * 4
-	if len(raw) != want {
-		check(fmt.Errorf("%s: %d bytes, want %d for [%d,%d,%d,%d] float32", path, len(raw), want, bd, ch, n, n))
-	}
-	data := make([]float32, want/4)
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
-	}
-	return tensor.FromSlice(data, bd, ch, n, n)
-}
-
-func writeTensor(path string, t *tensor.Tensor) {
-	if path == "" {
-		check(fmt.Errorf("missing -out"))
-	}
-	raw := make([]byte, 4*t.Len())
-	for i, v := range t.Data() {
-		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
-	}
-	check(os.WriteFile(path, raw, 0o644))
+	return x
 }
 
 func check(err error) {

@@ -12,12 +12,11 @@
 package main
 
 import (
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
+	"repro/internal/codec/tensorio"
 	"repro/internal/datagen"
 	"repro/internal/tensor"
 )
@@ -89,21 +88,13 @@ func describe(x *tensor.Tensor, what string) {
 }
 
 func writeTensor(path string, t *tensor.Tensor) {
-	raw := make([]byte, 4*t.Len())
-	for i, v := range t.Data() {
-		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
-	}
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if err := tensorio.WriteTensor(path, t); err != nil {
 		fail(err)
 	}
 }
 
 func writeLabels(path string, labels []int) {
-	raw := make([]byte, 4*len(labels))
-	for i, l := range labels {
-		binary.LittleEndian.PutUint32(raw[4*i:], uint32(l))
-	}
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if err := tensorio.WriteLabels(path, labels); err != nil {
 		fail(err)
 	}
 }

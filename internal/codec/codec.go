@@ -1,0 +1,230 @@
+// Package codec unifies the repository's four codec families — the
+// paper's DCT+Chop compressor (core), the fixed-rate ZFP-style baseline
+// (zfp), the error-bounded SZ-style baseline (sz), and the JPEG-style
+// quantization pipeline (jpegq) — behind one interface, one spec-string
+// registry, and one self-describing container format.
+//
+// A codec is named by a spec string, "family:key=val,key=val,flag":
+//
+//	dctc:cf=4,s=2,sg          DCT+Chop, chop factor 4, serialization 2,
+//	                          scatter/gather triangle retention
+//	dctc:cf=3,transform=zfp4  DCT+Chop over the ZFP 4×4 block transform
+//	zfp:rate=8                fixed-rate ZFP-style at 8 bits/value
+//	sz:eb=1e-3                error-bounded SZ-style, |err| ≤ 1e-3
+//	jpegq:q=50                JPEG-style pipeline at quality factor 50
+//
+// Compress output is a framed container (see container.go) carrying the
+// spec and the tensor shape, so Decode reconstructs the tensor from the
+// bytes alone — no out-of-band configuration.
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Codec is one configured compressor. Implementations are safe for
+// concurrent use.
+type Codec interface {
+	// Name is the codec family ("dctc", "zfp", "sz", "jpegq").
+	Name() string
+	// Spec is the canonical spec string that rebuilds this codec.
+	Spec() string
+	// Ratio is the nominal compression ratio; 0 means data-dependent
+	// (unknown until measured).
+	Ratio() float64
+	// Compress encodes x into a self-describing container.
+	Compress(x *tensor.Tensor) ([]byte, error)
+	// Decompress reconstructs a tensor from a container produced by any
+	// codec of the same family; shape and options come from the header.
+	Decompress(data []byte) (*tensor.Tensor, error)
+	// RoundTrip compresses then decompresses x, returning the
+	// reconstruction and the compressed payload size in bytes.
+	RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error)
+}
+
+// backend is the family-specific half of a codec: raw payload encode /
+// decode, with framing handled by the shared wrapper.
+type backend interface {
+	name() string
+	ratio() float64
+	encode(x *tensor.Tensor) ([]byte, error)
+	decode(payload []byte, shape []int) (*tensor.Tensor, error)
+}
+
+// fastRoundTripper is implemented by backends that can round-trip
+// without materializing the serialized payload (the hot path for the
+// training experiments, which round-trip every batch).
+type fastRoundTripper interface {
+	fastRoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error)
+}
+
+// codecImpl frames a backend behind the Codec interface.
+type codecImpl struct {
+	spec string
+	b    backend
+}
+
+func (c *codecImpl) Name() string   { return c.b.name() }
+func (c *codecImpl) Spec() string   { return c.spec }
+func (c *codecImpl) Ratio() float64 { return c.b.ratio() }
+
+func (c *codecImpl) Compress(x *tensor.Tensor) ([]byte, error) {
+	payload, err := c.b.encode(x)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := WriteContainer(&buf, c.spec, x.Shape(), payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *codecImpl) Decompress(data []byte) (*tensor.Tensor, error) {
+	hdr, payload, err := ReadContainer(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ParseSpec(hdr.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("codec: container spec: %w", err)
+	}
+	if spec.Family != c.Name() {
+		return nil, fmt.Errorf("codec: container holds %q data, this codec is %q (use Decode for spec-directed decoding)", spec.Family, c.Name())
+	}
+	// Honor the container's own options (self-describing wins over the
+	// instance's): rebuild when the specs differ.
+	b := c.b
+	if hdr.Spec != c.spec {
+		other, err := New(hdr.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("codec: rebuilding from container spec %q: %w", hdr.Spec, err)
+		}
+		b = other.(*codecImpl).b
+	}
+	return b.decode(payload, hdr.Shape)
+}
+
+func (c *codecImpl) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	if fast, ok := c.b.(fastRoundTripper); ok {
+		return fast.fastRoundTrip(x)
+	}
+	payload, err := c.b.encode(x)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := c.b.decode(payload, x.Shape())
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(payload), nil
+}
+
+// builder constructs a family's backend from parsed options.
+type builder func(o *Options) (backend, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]builder{}
+)
+
+// register installs a family builder; families self-register in init.
+func register(family string, build builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[family]; dup {
+		panic(fmt.Sprintf("codec: duplicate family %q", family))
+	}
+	registry[family] = build
+}
+
+// Families lists the registered codec families, sorted.
+func Families() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for f := range registry {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a codec from a spec string via the registry. Option errors
+// name the offending key.
+func New(spec string) (Codec, error) {
+	parsed, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	registryMu.RLock()
+	build, ok := registry[parsed.Family]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown family %q (registered: %v)", parsed.Family, Families())
+	}
+	opts := parsed.options()
+	b, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.finish(); err != nil {
+		return nil, err
+	}
+	return &codecImpl{spec: canonicalSpec(parsed.Family, b), b: b}, nil
+}
+
+// canonicalizer lets a backend print its canonical option string.
+type canonicalizer interface{ canonical() string }
+
+// canonicalSpec renders the spec that exactly rebuilds b.
+func canonicalSpec(family string, b backend) string {
+	if c, ok := b.(canonicalizer); ok {
+		if opts := c.canonical(); opts != "" {
+			return family + ":" + opts
+		}
+	}
+	return family
+}
+
+// Decode reads one container from r and reconstructs its tensor, with
+// the codec resolved entirely from the header — the fully
+// self-describing path the CLI decompress mode uses. It returns the
+// tensor and the codec that decoded it.
+func Decode(r io.Reader) (*tensor.Tensor, Codec, error) {
+	hdr, payload, err := ReadContainer(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := New(hdr.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("codec: container spec %q: %w", hdr.Spec, err)
+	}
+	out, err := c.(*codecImpl).b.decode(payload, hdr.Shape)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, c, nil
+}
+
+// DecodeBytes is Decode over an in-memory container.
+func DecodeBytes(data []byte) (*tensor.Tensor, Codec, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+// DecodeFile is Decode over a container file on disk.
+func DecodeFile(path string) (*tensor.Tensor, Codec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

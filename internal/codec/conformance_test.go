@@ -1,0 +1,234 @@
+package codec
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// conformanceSpecs is every registered family/variant the suite
+// round-trips, with a minimum reconstruction PSNR (dB) on the smooth
+// deterministic batch and an optional absolute error bound.
+var conformanceSpecs = []struct {
+	spec    string
+	minPSNR float64
+	maxErr  float64 // 0 = no pointwise bound
+}{
+	{"dctc:cf=4", 20, 0},
+	{"dctc:cf=4,sg", 15, 0},
+	{"dctc:cf=4,s=2", 20, 0},
+	{"dctc:cf=3,transform=zfp4", 15, 0},
+	{"zfp:rate=8", 30, 0},
+	{"sz:eb=1e-3", 40, 1e-3},
+	{"jpegq:q=50", 20, 0},
+}
+
+// conformanceBatch builds the deterministic smooth [2,3,16,16] batch
+// (values in [0,1]) every spec must round-trip: low-frequency sinusoids
+// so the lossy transforms retain most of the energy, plus a small
+// deterministic ripple so no plane is constant.
+func conformanceBatch() *tensor.Tensor {
+	const bd, ch, n = 2, 3, 16
+	x := tensor.New(bd, ch, n, n)
+	d := x.Data()
+	idx := 0
+	for s := 0; s < bd; s++ {
+		for c := 0; c < ch; c++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := 0.5 +
+						0.3*math.Sin(2*math.Pi*float64(i)/float64(n)+float64(s)) +
+						0.15*math.Cos(2*math.Pi*float64(j)/float64(n)+float64(c)) +
+						0.02*math.Sin(float64(i*j)/7)
+					if v < 0 {
+						v = 0
+					}
+					if v > 1 {
+						v = 1
+					}
+					d[idx] = float32(v)
+					idx++
+				}
+			}
+		}
+	}
+	return x
+}
+
+// TestConformanceRoundTrip round-trips the same deterministic batch
+// through every registered spec, asserting shape fidelity, per-codec
+// error bounds, and container re-decodability from the bytes alone.
+func TestConformanceRoundTrip(t *testing.T) {
+	x := conformanceBatch()
+	for _, tc := range conformanceSpecs {
+		tc := tc
+		t.Run(tc.spec, func(t *testing.T) {
+			t.Parallel()
+			c, err := New(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Container path: Compress → self-describing Decode.
+			data, err := c.Compress(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, decoded, err := DecodeBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded.Spec() != c.Spec() {
+				t.Errorf("container decoded with spec %q, compressed with %q", decoded.Spec(), c.Spec())
+			}
+			if !back.SameShape(x) {
+				t.Fatalf("shape %v, want %v", back.Shape(), x.Shape())
+			}
+			psnr := metrics.PSNR(x, back)
+			if psnr < tc.minPSNR {
+				t.Errorf("PSNR %.2f dB below conformance floor %.2f dB", psnr, tc.minPSNR)
+			}
+			if tc.maxErr > 0 {
+				if maxe := metrics.MaxError(x, back); maxe > tc.maxErr*(1+1e-6) {
+					t.Errorf("max error %g exceeds bound %g", maxe, tc.maxErr)
+				}
+			}
+
+			// Re-decodability: the same container decodes again (the
+			// reader must not consume shared state).
+			again, _, err := DecodeBytes(data)
+			if err != nil {
+				t.Fatalf("second decode: %v", err)
+			}
+			if !again.Equal(back) {
+				t.Error("second decode differs from first")
+			}
+
+			// Instance Decompress agrees with registry Decode.
+			viaInstance, err := c.Decompress(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !viaInstance.Equal(back) {
+				t.Error("Codec.Decompress differs from registry Decode")
+			}
+
+			// RoundTrip (which may take a serialization-free fast path)
+			// matches the container path.
+			rt, bytes, err := c.RoundTrip(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rt.SameShape(x) {
+				t.Fatalf("RoundTrip shape %v", rt.Shape())
+			}
+			if bytes <= 0 || bytes >= x.SizeBytes() {
+				t.Errorf("RoundTrip payload %d bytes vs original %d", bytes, x.SizeBytes())
+			}
+			if !rt.AllClose(back, 1e-5) {
+				t.Errorf("RoundTrip fast path diverges from container path (max diff %g)", rt.MaxAbsDiff(back))
+			}
+		})
+	}
+}
+
+// TestConformanceNonPlaneShapes round-trips shapes that are not n×n
+// image batches through the families that support them (jpegq is
+// image-only and must say so).
+func TestConformanceNonPlaneShapes(t *testing.T) {
+	shapes := [][]int{{100}, {7, 13}, {3, 5, 9}}
+	// Flat-packed rows break the 2-D correlation DCT+Chop exploits, so
+	// its floor is looser than the pointwise-bounded codecs'.
+	floors := map[string]float64{"dctc:cf=4": 8, "dctc:cf=4,sg": 8, "zfp:rate=8": 15, "sz:eb=1e-3": 40}
+	for _, spec := range []string{"dctc:cf=4", "dctc:cf=4,sg", "zfp:rate=8", "sz:eb=1e-3"} {
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shape := range shapes {
+			x := tensor.New(shape...)
+			for i := range x.Data() {
+				x.Data()[i] = float32(math.Sin(float64(i) / 9))
+			}
+			data, err := c.Compress(x)
+			if err != nil {
+				t.Fatalf("%s %v: %v", spec, shape, err)
+			}
+			back, _, err := DecodeBytes(data)
+			if err != nil {
+				t.Fatalf("%s %v: %v", spec, shape, err)
+			}
+			if !back.SameShape(x) {
+				t.Fatalf("%s: shape %v, want %v", spec, back.Shape(), shape)
+			}
+			if psnr := metrics.PSNR(x, back); psnr < floors[spec] {
+				t.Errorf("%s %v: PSNR %.2f dB below floor %.1f", spec, shape, psnr, floors[spec])
+			}
+		}
+	}
+
+	jq, err := New("jpegq:q=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jq.Compress(tensor.New(7, 13)); err == nil || !strings.Contains(err.Error(), "[BD,C,n,n]") {
+		t.Errorf("jpegq non-image error: %v", err)
+	}
+}
+
+// TestDecompressFamilyMismatch verifies a codec refuses containers from
+// another family but accepts other options of its own family.
+func TestDecompressFamilyMismatch(t *testing.T) {
+	x := conformanceBatch()
+	z, _ := New("zfp:rate=8")
+	s, _ := New("sz:eb=1e-2")
+	data, err := z.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decompress(data); err == nil || !strings.Contains(err.Error(), `"zfp"`) {
+		t.Errorf("family mismatch: %v", err)
+	}
+	// Same family, different options: header's options win.
+	z16, _ := New("zfp:rate=16")
+	back, err := z16.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(x) {
+		t.Fatal("shape lost")
+	}
+	if psnr := metrics.PSNR(x, back); psnr < 30 {
+		t.Errorf("self-describing decode ignored header rate (PSNR %.2f)", psnr)
+	}
+}
+
+// TestDecodeFile exercises the io.Reader path end to end on disk —
+// exactly what acc-compress decompress mode does.
+func TestDecodeFile(t *testing.T) {
+	x := conformanceBatch()
+	c, err := New("dctc:cf=4,s=2,sg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.accf")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, decoded, err := DecodeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Spec() != c.Spec() || !back.SameShape(x) {
+		t.Fatalf("spec %q shape %v", decoded.Spec(), back.Shape())
+	}
+}

@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestContainerRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if _, err := WriteContainer(&buf, "zfp:rate=8", []int{2, 3, 16, 16}, payload); err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := ReadContainer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Spec != "zfp:rate=8" {
+		t.Errorf("spec %q", hdr.Spec)
+	}
+	if len(hdr.Shape) != 4 || hdr.Elems() != 2*3*16*16 {
+		t.Errorf("shape %v", hdr.Shape)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload %v", got)
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteContainer(&buf, "sz:eb=0.001", []int{8, 8}, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	if _, _, err := ReadContainer(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	// Payload bit flip fails the CRC.
+	bad = append([]byte(nil), valid...)
+	bad[len(bad)-2] ^= 0x10
+	if _, _, err := ReadContainer(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("payload corruption: %v", err)
+	}
+
+	// Truncations at every prefix length fail without panicking.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := ReadContainer(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestContainerWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteContainer(&buf, "", []int{4}, nil); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := WriteContainer(&buf, "x", nil, nil); err == nil {
+		t.Error("empty shape accepted")
+	}
+	if _, err := WriteContainer(&buf, "x", []int{0}, nil); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := WriteContainer(&buf, "x", make([]int, 9), nil); err == nil {
+		t.Error("rank 9 accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/codec/tensorio"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// dctcBackend adapts the paper's DCT+Chop compressor (internal/core) to
+// the registry. Spec: "dctc:cf=4,s=2,sg,transform=zfp4,planen=64" (all
+// keys optional).
+//
+// Image batches [BD, C, n, n] whose resolution satisfies the config's
+// block/serialization divisibility take the planar path: each plane is
+// compressed independently on the shared pipeline and the payload is
+// the raw float32 chunk data (size known from the config, so no
+// per-plane headers). Every other shape takes the flat path — values
+// are packed row-major into planeN×planeN planes with a zero-padded
+// tail, exactly the FlatRoundTripper packing — marked by the payload's
+// mode byte.
+type dctcBackend struct {
+	cfg    core.Config
+	planeN int // flat-path plane edge (0 = auto)
+
+	mu    sync.Mutex
+	comps map[int]*core.Compressor       // compiled per resolution
+	frts  map[int]*core.FlatRoundTripper // compiled per flat plane edge
+}
+
+const (
+	dctcModePlanar = 0
+	dctcModeFlat   = 1
+)
+
+func init() {
+	register("dctc", func(o *Options) (backend, error) {
+		cfg := core.Config{
+			ChopFactor:    o.Int("cf", 4),
+			Serialization: o.Int("s", 1),
+		}
+		if o.Bool("sg", false) {
+			cfg.Mode = core.ModeSG
+		}
+		switch tr := o.String("transform", "dct8"); tr {
+		case "dct8":
+		case "zfp4":
+			cfg.Transform = core.TransformZFP4
+		default:
+			return nil, fmt.Errorf("codec: dctc: invalid value %q for key %q (want dct8 or zfp4)", tr, "transform")
+		}
+		b := &dctcBackend{
+			cfg:    cfg,
+			planeN: o.Int("planen", 0),
+			comps:  map[int]*core.Compressor{},
+			frts:   map[int]*core.FlatRoundTripper{},
+		}
+		// Validate eagerly against the smallest legal resolution so bad
+		// options fail at New, not at first Compress.
+		bs := cfg.Transform.BlockSizeOf()
+		if cfg.Serialization < 1 {
+			return nil, fmt.Errorf("codec: dctc: invalid value %d for key %q (want ≥ 1)", cfg.Serialization, "s")
+		}
+		if err := cfg.Validate(bs * cfg.Serialization); err != nil {
+			return nil, fmt.Errorf("codec: dctc: %w", err)
+		}
+		if b.planeN != 0 {
+			if err := cfg.Validate(b.planeN); err != nil {
+				return nil, fmt.Errorf("codec: dctc: invalid value %d for key %q: %w", b.planeN, "planen", err)
+			}
+		}
+		return b, nil
+	})
+}
+
+func (b *dctcBackend) name() string   { return "dctc" }
+func (b *dctcBackend) ratio() float64 { return b.cfg.Ratio() }
+
+func (b *dctcBackend) canonical() string {
+	s := fmt.Sprintf("cf=%d", b.cfg.ChopFactor)
+	if b.cfg.Serialization > 1 {
+		s += fmt.Sprintf(",s=%d", b.cfg.Serialization)
+	}
+	if b.cfg.Mode == core.ModeSG {
+		s += ",sg"
+	}
+	if b.cfg.Transform == core.TransformZFP4 {
+		s += ",transform=zfp4"
+	}
+	if b.planeN != 0 {
+		s += fmt.Sprintf(",planen=%d", b.planeN)
+	}
+	return s
+}
+
+// compilerFor returns the cached compiled compressor for resolution n.
+func (b *dctcBackend) compilerFor(n int) (*core.Compressor, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, ok := b.comps[n]; ok {
+		return c, nil
+	}
+	c, err := core.NewCompressor(b.cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	b.comps[n] = c
+	return c, nil
+}
+
+// planar reports whether shape takes the planar path, returning n.
+func (b *dctcBackend) planar(shape []int) (int, bool) {
+	if len(shape) != 4 || shape[2] != shape[3] {
+		return 0, false
+	}
+	n := shape[2]
+	return n, b.cfg.Validate(n) == nil
+}
+
+// flatPlaneN picks the flat-path plane edge for a value count: the
+// spec's planen when set, else the smallest legal multiple of
+// blocksize·s whose square covers the values, capped at 256.
+func (b *dctcBackend) flatPlaneN(values int) int {
+	if b.planeN != 0 {
+		return b.planeN
+	}
+	step := b.cfg.Transform.BlockSizeOf() * b.cfg.Serialization
+	n := step
+	for n*n < values && n+step <= 256 {
+		n += step
+	}
+	return n
+}
+
+func (b *dctcBackend) encode(x *tensor.Tensor) ([]byte, error) {
+	if n, ok := b.planar(x.Shape()); ok {
+		comp, err := b.compilerFor(n)
+		if err != nil {
+			return nil, err
+		}
+		framed, err := b.encodePlanar(comp, x, n)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{dctcModePlanar}, framed...), nil
+	}
+	if x.Len() == 0 {
+		return nil, fmt.Errorf("dctc: empty tensor")
+	}
+	planeN := b.flatPlaneN(x.Len())
+	comp, err := b.compilerFor(planeN)
+	if err != nil {
+		return nil, err
+	}
+	plane := planeN * planeN
+	nplanes := (x.Len() + plane - 1) / plane
+	scratch := getScratch(nplanes * plane)
+	defer putScratch(scratch)
+	copy(scratch, x.Data())
+	packed := tensor.FromSlice(scratch, nplanes, 1, planeN, planeN)
+	framed, err := b.encodePlanar(comp, packed, planeN)
+	if err != nil {
+		return nil, err
+	}
+	head := []byte{dctcModeFlat, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(head[1:], uint32(planeN))
+	return append(head, framed...), nil
+}
+
+// encodePlanar fans x's planes across the pipeline; each plane payload
+// is the concatenated raw float32 chunk data of its core.Compressed.
+func (b *dctcBackend) encodePlanar(comp *core.Compressor, x *tensor.Tensor, n int) ([]byte, error) {
+	return compressPlanes(x, n, n, func(p int, plane *tensor.Tensor) ([]byte, error) {
+		y, err := comp.Compress(plane.Reshape(1, 1, n, n))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 0, y.CompressedBytes())
+		for _, chunk := range y.Chunks {
+			out = tensorio.Float32sToBytes(out, chunk.Data())
+		}
+		return out, nil
+	})
+}
+
+func (b *dctcBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("dctc: empty payload")
+	}
+	mode, payload := payload[0], payload[1:]
+	switch mode {
+	case dctcModePlanar:
+		n, ok := b.planar(shape)
+		if !ok {
+			return nil, fmt.Errorf("dctc: planar payload but shape %v is not a compatible [BD,C,n,n] batch", shape)
+		}
+		comp, err := b.compilerFor(n)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(shape...)
+		if err := b.decodePlanar(comp, out, payload, n); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case dctcModeFlat:
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("dctc: flat payload truncated")
+		}
+		planeN := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		if planeN < 1 || planeN > 1<<12 {
+			return nil, fmt.Errorf("dctc: implausible flat plane edge %d", planeN)
+		}
+		comp, err := b.compilerFor(planeN)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.New(shape...)
+		plane := planeN * planeN
+		nplanes := (out.Len() + plane - 1) / plane
+		scratch := getScratch(nplanes * plane)
+		defer putScratch(scratch)
+		packed := tensor.FromSlice(scratch, nplanes, 1, planeN, planeN)
+		if err := b.decodePlanar(comp, packed, payload, planeN); err != nil {
+			return nil, err
+		}
+		copy(out.Data(), scratch[:out.Len()])
+		return out, nil
+	default:
+		return nil, fmt.Errorf("dctc: unknown payload mode %d", mode)
+	}
+}
+
+// decodePlanar rebuilds each plane's core.Compressed from its raw chunk
+// floats and decompresses it into out's planes.
+func (b *dctcBackend) decodePlanar(comp *core.Compressor, out *tensor.Tensor, payload []byte, n int) error {
+	parts, err := splitPlanePayloads(payload, out.Len()/(n*n))
+	if err != nil {
+		return err
+	}
+	s := b.cfg.Serialization
+	chunkVals := comp.ChunkValues()
+	wantBytes := 4 * s * s * chunkVals
+	chunkShape := append([]int{1, 1}, comp.CompressedPlaneShape()...)
+	return decompressPlanes(out, n, n, parts, func(p int, data []byte, plane *tensor.Tensor) error {
+		if len(data) != wantBytes {
+			return fmt.Errorf("dctc: plane payload %d bytes, want %d", len(data), wantBytes)
+		}
+		vals := getScratch(s * s * chunkVals)
+		defer putScratch(vals)
+		tensorio.DecodeFloat32s(vals, data)
+		y := &core.Compressed{Config: b.cfg, BatchSize: 1, Channels: 1, N: n}
+		for ci := 0; ci < s*s; ci++ {
+			y.Chunks = append(y.Chunks, tensor.FromSlice(vals[ci*chunkVals:(ci+1)*chunkVals], chunkShape...))
+		}
+		back, err := comp.Decompress(y)
+		if err != nil {
+			return err
+		}
+		copy(plane.Data(), back.Data())
+		return nil
+	})
+}
+
+// Compiler exposes the compiled core.Compressor behind a dctc codec at
+// resolution n — the device-simulation path in cmd/acc-compress needs
+// the raw compress graph to hand to an accelerator backend. It errors
+// for codecs of any other family.
+func Compiler(c Codec, n int) (*core.Compressor, error) {
+	impl, ok := c.(*codecImpl)
+	if !ok {
+		return nil, fmt.Errorf("codec: %T is not a registry codec", c)
+	}
+	b, ok := impl.b.(*dctcBackend)
+	if !ok {
+		return nil, fmt.Errorf("codec: device simulation requires a dctc codec, got %q", c.Name())
+	}
+	return b.compilerFor(n)
+}
+
+// fastRoundTrip keeps the training experiments on the paper's batched
+// two-matmul path: no payload serialization, the whole batch in one
+// batched multiply.
+func (b *dctcBackend) fastRoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	if n, ok := b.planar(x.Shape()); ok {
+		comp, err := b.compilerFor(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		y, err := comp.Compress(x)
+		if err != nil {
+			return nil, 0, err
+		}
+		back, err := comp.Decompress(y)
+		if err != nil {
+			return nil, 0, err
+		}
+		return back, y.CompressedBytes(), nil
+	}
+	planeN := b.flatPlaneN(x.Len())
+	b.mu.Lock()
+	frt, ok := b.frts[planeN]
+	if !ok {
+		var err error
+		frt, err = core.NewFlatRoundTripper(b.cfg, planeN)
+		if err != nil {
+			b.mu.Unlock()
+			return nil, 0, err
+		}
+		b.frts[planeN] = frt
+	}
+	b.mu.Unlock()
+	return frt.RoundTripTensor(x)
+}

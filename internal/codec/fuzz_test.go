@@ -1,0 +1,62 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzContainerDecode hardens the self-describing decode path — header
+// parsing, spec resolution, plane framing, and every family's payload
+// decoder — against arbitrary byte streams: error or success, never a
+// panic, runaway allocation, or a tensor inconsistent with its header.
+func FuzzContainerDecode(f *testing.F) {
+	// Seed with genuine containers from every family plus mutations.
+	x := tensor.New(1, 1, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%31) / 31
+	}
+	small := tensor.New(5)
+	copy(small.Data(), []float32{1, 2, 3, 4, 5})
+	for _, spec := range []string{"dctc:cf=4", "dctc:cf=2,sg", "zfp:rate=8", "sz:eb=1e-2", "jpegq:q=50"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := c.Compress(x)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flip := append([]byte(nil), data...)
+		flip[len(flip)/3] ^= 0x20
+		f.Add(flip)
+		if spec != "jpegq:q=50" {
+			flat, err := c.Compress(small)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(flat)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ACCF"))
+	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 1, 0, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, c, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		if out == nil || c == nil {
+			t.Fatal("nil result without error")
+		}
+		if out.Len() > maxElems {
+			t.Fatalf("implausible tensor size %d accepted", out.Len())
+		}
+		if out.Dims() == 0 || out.Dims() > maxRank {
+			t.Fatalf("implausible rank %d accepted", out.Dims())
+		}
+	})
+}

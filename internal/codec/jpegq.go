@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/jpegq"
+	"repro/internal/tensor"
+)
+
+// jpegqBackend adapts the JPEG-style quantization pipeline. Spec:
+// "jpegq:q=50" (quality factor 1–100).
+//
+// The codec is image-specific: it requires [BD, C, n, n] batches with
+// values nominally in [0,1] and block-aligned resolutions. Channel 0
+// of every sample quantizes with the luminance table and the remaining
+// channels with chrominance, exactly as the whole-batch jpegq.Codec
+// does; each plane is a standalone RLE+Huffman stream on the shared
+// pipeline.
+type jpegqBackend struct {
+	codec *jpegq.Codec
+}
+
+func init() {
+	register("jpegq", func(o *Options) (backend, error) {
+		q := o.Int("q", 50)
+		c, err := jpegq.NewCodec(q)
+		if err != nil {
+			return nil, fmt.Errorf("codec: jpegq: invalid value %d for key %q: %w", q, "q", err)
+		}
+		return &jpegqBackend{codec: c}, nil
+	})
+}
+
+func (b *jpegqBackend) name() string   { return "jpegq" }
+func (b *jpegqBackend) ratio() float64 { return 0 } // data-dependent (VLE stage)
+
+func (b *jpegqBackend) canonical() string {
+	return fmt.Sprintf("q=%d", b.codec.Quality)
+}
+
+// checkShape validates the image-batch constraint, returning (C, h, w).
+func (b *jpegqBackend) checkShape(shape []int) (int, int, int, error) {
+	if len(shape) != 4 {
+		return 0, 0, 0, fmt.Errorf("jpegq: needs [BD,C,n,n] image batches, got shape %v", shape)
+	}
+	h, w := shape[2], shape[3]
+	if h%jpegq.BlockSize != 0 || w%jpegq.BlockSize != 0 {
+		return 0, 0, 0, fmt.Errorf("jpegq: resolution %dx%d not a multiple of %d", h, w, jpegq.BlockSize)
+	}
+	return shape[1], h, w, nil
+}
+
+func (b *jpegqBackend) encode(x *tensor.Tensor) ([]byte, error) {
+	ch, h, w, err := b.checkShape(x.Shape())
+	if err != nil {
+		return nil, err
+	}
+	return compressPlanes(x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
+		return b.codec.EncodePlane(plane, p%ch)
+	})
+}
+
+func (b *jpegqBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+	ch, h, w, err := b.checkShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := splitPlanePayloads(payload, shape[0]*ch)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(shape...)
+	if err := decompressPlanes(out, h, w, parts, func(p int, data []byte, plane *tensor.Tensor) error {
+		return b.codec.DecodePlane(data, plane, p%ch)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// This file is the shared batch pipeline: every adapter whose codec is
+// plane-independent (all four families — DCT+Chop, ZFP, SZ and JPEG all
+// process trailing 2-D planes independently) fans a tensor's planes
+// across a runtime.NumCPU()-bounded worker pool, with sync.Pool-reused
+// float32 scratch buffers for the packing/staging copies.
+//
+// Plane-framed payload layout (little-endian):
+//
+//	u32 plane count
+//	u32 × count  per-plane payload lengths
+//	concatenated per-plane payloads
+
+// maxWorkers bounds pipeline concurrency.
+var maxWorkers = runtime.NumCPU()
+
+// forEachPlane runs fn(p) for p in [0, planes) on a bounded worker
+// pool, returning the first error (remaining planes may still run).
+func forEachPlane(planes int, fn func(p int) error) error {
+	if planes <= 0 {
+		return nil
+	}
+	workers := maxWorkers
+	if workers > planes {
+		workers = planes
+	}
+	if workers <= 1 {
+		for p := 0; p < planes; p++ {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= planes || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(p); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return err.(error)
+	}
+	return nil
+}
+
+// scratchPool recycles float32 staging buffers across planes and calls.
+var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getScratch returns a zeroed scratch buffer of length n.
+func getScratch(n int) []float32 {
+	bp := scratchPool.Get().(*[]float32)
+	if cap(*bp) < n {
+		*bp = make([]float32, n)
+	}
+	buf := (*bp)[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// putScratch returns a buffer to the pool.
+func putScratch(buf []float32) {
+	scratchPool.Put(&buf)
+}
+
+// compressPlanes encodes every h×w plane of x concurrently with enc and
+// assembles the plane-framed payload. Plane p is the zero-copy view of
+// x.Data()[p·h·w : (p+1)·h·w] shaped [h, w].
+func compressPlanes(x *tensor.Tensor, h, w int, enc func(p int, plane *tensor.Tensor) ([]byte, error)) ([]byte, error) {
+	planes := x.Len() / (h * w)
+	parts := make([][]byte, planes)
+	err := forEachPlane(planes, func(p int) error {
+		plane := tensor.FromSlice(x.Data()[p*h*w:(p+1)*h*w], h, w)
+		out, err := enc(p, plane)
+		if err != nil {
+			return fmt.Errorf("codec: plane %d: %w", p, err)
+		}
+		parts[p] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 4 + 4*planes
+	for _, part := range parts {
+		total += len(part)
+	}
+	payload := make([]byte, 0, total)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(planes))
+	for _, part := range parts {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(part)))
+	}
+	for _, part := range parts {
+		payload = append(payload, part...)
+	}
+	return payload, nil
+}
+
+// splitPlanePayloads validates a plane-framed payload against the
+// expected plane count and returns the per-plane slices (views into
+// payload). Called before any output allocation, so implausible frames
+// fail cheaply.
+func splitPlanePayloads(payload []byte, wantPlanes int) ([][]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("codec: plane-framed payload truncated (%d bytes)", len(payload))
+	}
+	planes := int(binary.LittleEndian.Uint32(payload))
+	if planes != wantPlanes {
+		return nil, fmt.Errorf("codec: payload holds %d planes, shape implies %d", planes, wantPlanes)
+	}
+	if len(payload) < 4+4*planes {
+		return nil, fmt.Errorf("codec: plane length table truncated")
+	}
+	parts := make([][]byte, planes)
+	off := 4 + 4*planes
+	for p := 0; p < planes; p++ {
+		plen := int(binary.LittleEndian.Uint32(payload[4+4*p:]))
+		if plen < 0 || off+plen > len(payload) {
+			return nil, fmt.Errorf("codec: plane %d payload (%d bytes at offset %d) overruns frame", p, plen, off)
+		}
+		parts[p] = payload[off : off+plen]
+		off += plen
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("codec: %d trailing bytes after plane payloads", len(payload)-off)
+	}
+	return parts, nil
+}
+
+// decompressPlanes decodes pre-split plane payloads concurrently into
+// out's h×w planes. dec receives a zero-copy view of plane p; planes
+// are disjoint, so concurrent writes are race-free.
+func decompressPlanes(out *tensor.Tensor, h, w int, parts [][]byte, dec func(p int, data []byte, plane *tensor.Tensor) error) error {
+	if want := out.Len() / (h * w); want != len(parts) {
+		return fmt.Errorf("codec: %d plane payloads for %d planes", len(parts), want)
+	}
+	return forEachPlane(len(parts), func(p int) error {
+		plane := tensor.FromSlice(out.Data()[p*h*w:(p+1)*h*w], h, w)
+		if err := dec(p, parts[p], plane); err != nil {
+			return fmt.Errorf("codec: plane %d: %w", p, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,91 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("dctc:cf=4, s=2 ,sg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Family != "dctc" {
+		t.Fatalf("family %q", s.Family)
+	}
+	if s.kv["cf"] != "4" || s.kv["s"] != "2" || s.kv["sg"] != "true" {
+		t.Fatalf("options %v", s.kv)
+	}
+	if _, err := ParseSpec(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := ParseSpec("dctc:cf=4,cf=5"); err == nil || !strings.Contains(err.Error(), `"cf"`) {
+		t.Fatalf("duplicate key not named: %v", err)
+	}
+	if _, err := ParseSpec("zfp:=8"); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestNewErrorsNameBadKeys(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring the error must contain
+	}{
+		{"nosuch:z=1", `unknown family "nosuch"`},
+		{"zfp:rat=8", `[rat]`},                 // unknown key named
+		{"zfp:rate=abc", `"rate"`},             // bad value names key
+		{"zfp:rate=64", `"rate"`},              // out-of-range rate
+		{"dctc:cf=99", "chop factor"},          // invalid chop factor
+		{"dctc:transform=webp", `"transform"`}, // invalid transform
+		{"dctc:sg=maybe", `"sg"`},              // bad boolean
+		{"sz:eb=-1", `"eb"`},                   // invalid bound
+		{"jpegq:q=0", `"q"`},                   // invalid quality
+		{"dctc:planen=7", `"planen"`},          // incompatible plane edge
+	}
+	for _, tc := range cases {
+		_, err := New(tc.spec)
+		if err == nil {
+			t.Errorf("New(%q): no error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("New(%q) error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestCanonicalSpecRebuilds(t *testing.T) {
+	for _, spec := range []string{
+		"dctc", "dctc:cf=4,s=2,sg", "dctc:sg,cf=2", "dctc:cf=3,transform=zfp4",
+		"zfp", "zfp:rate=16", "sz", "sz:eb=0.01", "jpegq", "jpegq:q=75",
+	} {
+		c, err := New(spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		again, err := New(c.Spec())
+		if err != nil {
+			t.Fatalf("New(canonical %q): %v", c.Spec(), err)
+		}
+		if again.Spec() != c.Spec() {
+			t.Errorf("canonical spec not a fixed point: %q -> %q -> %q", spec, c.Spec(), again.Spec())
+		}
+		if c.Name() == "" || c.Spec() == "" {
+			t.Errorf("New(%q): empty name or spec", spec)
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fams := Families()
+	want := []string{"dctc", "jpegq", "sz", "zfp"}
+	if len(fams) != len(want) {
+		t.Fatalf("families %v, want %v", fams, want)
+	}
+	for i := range want {
+		if fams[i] != want[i] {
+			t.Fatalf("families %v, want %v", fams, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/sz"
+	"repro/internal/tensor"
+)
+
+// szBackend adapts the error-bounded SZ-style baseline. Spec:
+// "sz:eb=1e-3" (absolute pointwise error bound).
+//
+// Rank ≥ 2 tensors take the planar path — one pipeline job per trailing
+// 2-D plane, any plane size. Rank-1 tensors are viewed as a single
+// 1×len plane.
+type szBackend struct {
+	codec *sz.Codec
+}
+
+const (
+	szModePlanar = 0
+	szModeFlat   = 1
+)
+
+func init() {
+	register("sz", func(o *Options) (backend, error) {
+		eb := o.Float("eb", 1e-3)
+		c, err := sz.New(eb)
+		if err != nil {
+			return nil, fmt.Errorf("codec: sz: invalid value %g for key %q: %w", eb, "eb", err)
+		}
+		return &szBackend{codec: c}, nil
+	})
+}
+
+func (b *szBackend) name() string   { return "sz" }
+func (b *szBackend) ratio() float64 { return 0 } // data-dependent (VLE stage)
+
+func (b *szBackend) canonical() string {
+	return fmt.Sprintf("eb=%g", b.codec.ErrorBound)
+}
+
+func (b *szBackend) encode(x *tensor.Tensor) ([]byte, error) {
+	if x.Len() == 0 {
+		return nil, fmt.Errorf("sz: empty tensor")
+	}
+	mode := byte(szModePlanar)
+	h, w := 0, 0
+	if x.Dims() >= 2 {
+		h, w = x.Dim(-2), x.Dim(-1)
+	} else {
+		mode, h, w = szModeFlat, 1, x.Len()
+		x = x.Reshape(1, w)
+	}
+	framed, err := compressPlanes(x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
+		return b.codec.Compress(plane)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{mode}, framed...), nil
+}
+
+func (b *szBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("sz: empty payload")
+	}
+	mode, payload := payload[0], payload[1:]
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	var h, w int
+	switch {
+	case mode == szModePlanar && len(shape) >= 2:
+		h, w = shape[len(shape)-2], shape[len(shape)-1]
+	case mode == szModeFlat && len(shape) == 1:
+		h, w = 1, elems
+	default:
+		return nil, fmt.Errorf("sz: payload mode %d does not match shape %v", mode, shape)
+	}
+	parts, err := splitPlanePayloads(payload, elems/(h*w))
+	if err != nil {
+		return nil, err
+	}
+	// Validate each plane stream's recorded geometry before allocating.
+	for p, part := range parts {
+		planes, sh, sw, err := sz.StreamDims(part)
+		if err != nil {
+			return nil, fmt.Errorf("sz: plane %d: %w", p, err)
+		}
+		if planes != 1 || sh != h || sw != w {
+			return nil, fmt.Errorf("sz: plane %d stream is %d×%dx%d, want 1×%dx%d", p, planes, sh, sw, h, w)
+		}
+	}
+	out := tensor.New(shape...)
+	view := out
+	if mode == szModeFlat {
+		view = out.Reshape(1, w)
+	}
+	if err := decompressPlanes(view, h, w, parts, func(p int, data []byte, plane *tensor.Tensor) error {
+		back, err := b.codec.Decompress(data, plane.Shape()...)
+		if err != nil {
+			return err
+		}
+		copy(plane.Data(), back.Data())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+// Package tensorio reads and writes the raw little-endian float32
+// tensor files the CLI tools exchange (acc-datagen produces them,
+// acc-compress consumes them). It replaces the per-value
+// binary.LittleEndian loops that were copied across cmd/ with bulk
+// slice conversion: on little-endian hosts the float32 slice is
+// reinterpreted in place, and the portable per-value path only runs on
+// big-endian hardware.
+package tensorio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+
+	"repro/internal/tensor"
+)
+
+// hostIsLittleEndian reports whether the native byte order matches the
+// file format's little-endian layout, enabling the zero-copy paths.
+var hostIsLittleEndian = func() bool {
+	var probe = [2]byte{0x01, 0x02}
+	return binary.NativeEndian.Uint16(probe[:]) == binary.LittleEndian.Uint16(probe[:])
+}()
+
+// Float32sToBytes appends the little-endian encoding of src to dst and
+// returns the extended slice.
+func Float32sToBytes(dst []byte, src []float32) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if hostIsLittleEndian {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(src))), 4*len(src))
+		return append(dst, raw...)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, 4*len(src))...)
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[off+4*i:], math.Float32bits(v))
+	}
+	return dst
+}
+
+// BytesToFloat32s decodes little-endian float32 values from src into a
+// new slice; len(src) must be a multiple of 4.
+func BytesToFloat32s(src []byte) ([]float32, error) {
+	if len(src)%4 != 0 {
+		return nil, fmt.Errorf("tensorio: %d bytes is not a whole number of float32 values", len(src))
+	}
+	out := make([]float32, len(src)/4)
+	DecodeFloat32s(out, src)
+	return out, nil
+}
+
+// DecodeFloat32s decodes exactly len(dst) little-endian float32 values
+// from src into dst; src must hold at least 4*len(dst) bytes.
+func DecodeFloat32s(dst []float32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	if hostIsLittleEndian {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(dst))), 4*len(dst))
+		copy(raw, src[:4*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// WriteTensor writes t's values as raw little-endian float32 to path.
+func WriteTensor(path string, t *tensor.Tensor) error {
+	raw := Float32sToBytes(make([]byte, 0, t.SizeBytes()), t.Data())
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// ReadTensor reads a raw little-endian float32 file into a tensor of
+// the given shape, verifying the byte count matches exactly.
+func ReadTensor(path string, shape ...int) (*tensor.Tensor, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	want := 4
+	for _, d := range shape {
+		want *= d
+	}
+	if len(raw) != want {
+		return nil, fmt.Errorf("tensorio: %s holds %d bytes, want %d for shape %v (float32)", path, len(raw), want, shape)
+	}
+	data, err := BytesToFloat32s(raw)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+// WriteLabels writes integer labels as raw little-endian uint32 — the
+// auxiliary format acc-datagen emits next to classify batches.
+func WriteLabels(path string, labels []int) error {
+	raw := make([]byte, 4*len(labels))
+	for i, l := range labels {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(l))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,100 @@
+package tensorio
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestFloat32sBytesRoundTrip(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, math.Pi, float32(math.Inf(1)), -0.0078125}
+	raw := Float32sToBytes(nil, src)
+	if len(raw) != 4*len(src) {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), 4*len(src))
+	}
+	// The encoding is little-endian regardless of host order.
+	for i, v := range src {
+		if got := binary.LittleEndian.Uint32(raw[4*i:]); got != math.Float32bits(v) {
+			t.Fatalf("value %d encoded as %08x, want %08x", i, got, math.Float32bits(v))
+		}
+	}
+	back, err := BytesToFloat32s(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float32bits(back[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("value %d: %g != %g", i, back[i], src[i])
+		}
+	}
+}
+
+func TestFloat32sToBytesAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	raw := Float32sToBytes(prefix, []float32{2})
+	if len(raw) != 6 || raw[0] != 0xAA || raw[1] != 0xBB {
+		t.Fatalf("prefix clobbered: %x", raw)
+	}
+	if Float32sToBytes(nil, nil) != nil {
+		t.Fatal("empty input should not allocate")
+	}
+}
+
+func TestBytesToFloat32sRejectsRagged(t *testing.T) {
+	if _, err := BytesToFloat32s(make([]byte, 7)); err == nil {
+		t.Fatal("7 bytes accepted")
+	}
+}
+
+func TestDecodeFloat32sPartial(t *testing.T) {
+	raw := Float32sToBytes(nil, []float32{1, 2, 3, 4})
+	dst := make([]float32, 2)
+	DecodeFloat32s(dst, raw) // reads only the first 2 values
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("got %v", dst)
+	}
+	DecodeFloat32s(nil, nil) // no-op, must not panic
+}
+
+func TestTensorFileRoundTrip(t *testing.T) {
+	x := tensor.New(2, 3, 4)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i) / 3
+	}
+	path := filepath.Join(t.TempDir(), "batch.f32")
+	if err := WriteTensor(path, x); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTensor(path, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(x) {
+		t.Fatal("round trip lost data")
+	}
+	// Wrong shape for the byte count is an error that names both sides.
+	if _, err := ReadTensor(path, 5, 5); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := ReadTensor(filepath.Join(t.TempDir(), "missing.f32"), 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteLabels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.u32")
+	if err := WriteLabels(path, []int{0, 7, 42}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 12 || binary.LittleEndian.Uint32(raw[4:]) != 7 || binary.LittleEndian.Uint32(raw[8:]) != 42 {
+		t.Fatalf("labels encoded as %x", raw)
+	}
+}

@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/zfp"
+)
+
+// zfpBackend adapts the fixed-rate ZFP-style baseline. Spec:
+// "zfp:rate=8" (bits per value, ratio 32/rate).
+//
+// Tensors of rank ≥ 2 whose trailing dims are multiples of the 4×4
+// block edge take the planar path (one pipeline job per plane). Other
+// shapes are packed into zero-padded planeN×planeN planes, like the
+// dctc flat path.
+type zfpBackend struct {
+	codec  *zfp.Codec
+	planeN int
+}
+
+const (
+	zfpModePlanar = 0
+	zfpModeFlat   = 1
+)
+
+func init() {
+	register("zfp", func(o *Options) (backend, error) {
+		rate := o.Float("rate", 8)
+		planeN := o.Int("planen", 0)
+		c, err := zfp.New(rate)
+		if err != nil {
+			return nil, fmt.Errorf("codec: zfp: invalid value %g for key %q: %w", rate, "rate", err)
+		}
+		if planeN != 0 && (planeN < zfp.BlockSize || planeN%zfp.BlockSize != 0) {
+			return nil, fmt.Errorf("codec: zfp: invalid value %d for key %q (want a positive multiple of %d)", planeN, "planen", zfp.BlockSize)
+		}
+		return &zfpBackend{codec: c, planeN: planeN}, nil
+	})
+}
+
+func (b *zfpBackend) name() string   { return "zfp" }
+func (b *zfpBackend) ratio() float64 { return b.codec.Ratio() }
+
+func (b *zfpBackend) canonical() string {
+	s := fmt.Sprintf("rate=%g", b.codec.Rate)
+	if b.planeN != 0 {
+		s += fmt.Sprintf(",planen=%d", b.planeN)
+	}
+	return s
+}
+
+// planar reports whether shape takes the planar path, returning (h, w).
+func planarHW(shape []int, blockSize int) (int, int, bool) {
+	if len(shape) < 2 {
+		return 0, 0, false
+	}
+	h, w := shape[len(shape)-2], shape[len(shape)-1]
+	return h, w, h%blockSize == 0 && w%blockSize == 0
+}
+
+// flatPlaneN picks the flat-path plane edge: the spec's planen when
+// set, else the smallest block-multiple whose square covers the values,
+// capped at 256.
+func (b *zfpBackend) flatPlaneN(values int) int {
+	if b.planeN != 0 {
+		return b.planeN
+	}
+	n := zfp.BlockSize
+	for n*n < values && n+zfp.BlockSize <= 256 {
+		n += zfp.BlockSize
+	}
+	return n
+}
+
+func (b *zfpBackend) encode(x *tensor.Tensor) ([]byte, error) {
+	if x.Len() == 0 {
+		return nil, fmt.Errorf("zfp: empty tensor")
+	}
+	if h, w, ok := planarHW(x.Shape(), zfp.BlockSize); ok {
+		framed, err := compressPlanes(x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
+			return b.codec.Compress(plane)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{zfpModePlanar}, framed...), nil
+	}
+	planeN := b.flatPlaneN(x.Len())
+	plane := planeN * planeN
+	nplanes := (x.Len() + plane - 1) / plane
+	scratch := getScratch(nplanes * plane)
+	defer putScratch(scratch)
+	copy(scratch, x.Data())
+	packed := tensor.FromSlice(scratch, nplanes, planeN, planeN)
+	framed, err := compressPlanes(packed, planeN, planeN, func(p int, pl *tensor.Tensor) ([]byte, error) {
+		return b.codec.Compress(pl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	head := []byte{zfpModeFlat, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(head[1:], uint32(planeN))
+	return append(head, framed...), nil
+}
+
+func (b *zfpBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("zfp: empty payload")
+	}
+	mode, payload := payload[0], payload[1:]
+	switch mode {
+	case zfpModePlanar:
+		h, w, ok := planarHW(shape, zfp.BlockSize)
+		if !ok {
+			return nil, fmt.Errorf("zfp: planar payload but shape %v has no %d-aligned planes", shape, zfp.BlockSize)
+		}
+		elems := 1
+		for _, d := range shape {
+			elems *= d
+		}
+		parts, err := splitPlanePayloads(payload, elems/(h*w))
+		if err != nil {
+			return nil, err
+		}
+		want := b.codec.CompressedBytes(1, h, w)
+		for p, part := range parts {
+			if len(part) != want {
+				return nil, fmt.Errorf("zfp: plane %d payload %d bytes, want %d at rate %g", p, len(part), want, b.codec.Rate)
+			}
+		}
+		out := tensor.New(shape...)
+		if err := decompressPlanes(out, h, w, parts, b.decodePlane); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case zfpModeFlat:
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("zfp: flat payload truncated")
+		}
+		planeN := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		if planeN < zfp.BlockSize || planeN > 1<<12 || planeN%zfp.BlockSize != 0 {
+			return nil, fmt.Errorf("zfp: implausible flat plane edge %d", planeN)
+		}
+		out := tensor.New(shape...)
+		plane := planeN * planeN
+		nplanes := (out.Len() + plane - 1) / plane
+		parts, err := splitPlanePayloads(payload, nplanes)
+		if err != nil {
+			return nil, err
+		}
+		scratch := getScratch(nplanes * plane)
+		defer putScratch(scratch)
+		packed := tensor.FromSlice(scratch, nplanes, planeN, planeN)
+		if err := decompressPlanes(packed, planeN, planeN, parts, b.decodePlane); err != nil {
+			return nil, err
+		}
+		copy(out.Data(), scratch[:out.Len()])
+		return out, nil
+	default:
+		return nil, fmt.Errorf("zfp: unknown payload mode %d", mode)
+	}
+}
+
+// decodePlane decompresses one plane's stream into the caller's plane.
+func (b *zfpBackend) decodePlane(p int, data []byte, plane *tensor.Tensor) error {
+	back, err := b.codec.Decompress(data, plane.Shape()...)
+	if err != nil {
+		return err
+	}
+	copy(plane.Data(), back.Data())
+	return nil
+}

@@ -105,6 +105,16 @@ func (c *Compressor) CompressedPlaneShape() []int {
 	return []int{c.m, c.m}
 }
 
+// ChunkValues returns the number of float32 values in one chunk's
+// payload per plane (BD = C = 1): m² for chop mode, the triangle count
+// for SG. The total per-plane payload is s²·ChunkValues values.
+func (c *Compressor) ChunkValues() int {
+	if c.cfg.Mode == ModeSG {
+		return len(c.triIdx)
+	}
+	return c.m * c.m
+}
+
 // LHS exposes the fused compression matrix (read-only by convention);
 // the accelerator graph builder ships it to devices as a constant.
 func (c *Compressor) LHS() *tensor.Tensor { return c.lhs }

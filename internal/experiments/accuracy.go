@@ -9,14 +9,12 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/codec"
 	"repro/internal/datagen"
-	"repro/internal/jpegq"
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/tensor"
-	"repro/internal/zfp"
 )
 
 // Transform is applied to every training batch before the model sees it
@@ -39,30 +37,63 @@ func Baseline() Transform {
 	}
 }
 
+// FromSpec builds a Transform from any registered codec spec string
+// ("dctc:cf=4,sg", "zfp:rate=8", …), labeled with the canonical spec.
+func FromSpec(spec string) (Transform, error) {
+	c, err := codec.New(spec)
+	if err != nil {
+		return Transform{}, err
+	}
+	return Transform{Label: c.Spec(), Ratio: c.Ratio(), Apply: applyCodec(c)}, nil
+}
+
+// applyCodec adapts a registry codec's round trip (which takes the
+// serialization-free batched path for dctc) to the Transform signature.
+func applyCodec(c codec.Codec) func(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return func(x *tensor.Tensor) (*tensor.Tensor, error) {
+		out, _, err := c.RoundTrip(x)
+		return out, err
+	}
+}
+
+// dctcAt builds a dctc codec and pre-compiles it for resolution n, so
+// incompatible (config, n) pairs fail at construction exactly like
+// core.NewCompressor used to.
+func dctcAt(spec string, n int) (codec.Codec, error) {
+	c, err := codec.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := codec.Compiler(c, n); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // Chop returns the DCT+Chop round-trip transform at the given chop
 // factor for n×n inputs.
 func Chop(cf, n int) (Transform, error) {
-	c, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1}, n)
+	c, err := dctcAt(fmt.Sprintf("dctc:cf=%d", cf), n)
 	if err != nil {
 		return Transform{}, err
 	}
 	return Transform{
-		Label: fmt.Sprintf("%.2f", c.Config().Ratio()),
-		Ratio: c.Config().Ratio(),
-		Apply: c.RoundTrip,
+		Label: fmt.Sprintf("%.2f", c.Ratio()),
+		Ratio: c.Ratio(),
+		Apply: applyCodec(c),
 	}, nil
 }
 
 // SG returns the scatter/gather-variant round-trip transform (§3.5.2).
 func SG(cf, n int) (Transform, error) {
-	c, err := core.NewCompressor(core.Config{ChopFactor: cf, Mode: core.ModeSG, Serialization: 1}, n)
+	c, err := dctcAt(fmt.Sprintf("dctc:cf=%d,sg", cf), n)
 	if err != nil {
 		return Transform{}, err
 	}
 	return Transform{
-		Label: fmt.Sprintf("SG %.2f", c.Config().Ratio()),
-		Ratio: c.Config().Ratio(),
-		Apply: c.RoundTrip,
+		Label: fmt.Sprintf("SG %.2f", c.Ratio()),
+		Ratio: c.Ratio(),
+		Apply: applyCodec(c),
 	}, nil
 }
 
@@ -70,7 +101,7 @@ func SG(cf, n int) (Transform, error) {
 // factor — the Dodge & Karam [15] experiment the paper's related work
 // builds on (training-data compression via JPEG QF).
 func JPEG(quality int) (Transform, error) {
-	codec, err := jpegq.NewCodec(quality)
+	c, err := codec.New(fmt.Sprintf("jpegq:q=%d", quality))
 	if err != nil {
 		return Transform{}, err
 	}
@@ -79,27 +110,21 @@ func JPEG(quality int) (Transform, error) {
 		// JPEG's ratio is data-dependent (the VLE stage); 0 marks it
 		// unknown-until-measured in the tables.
 		Ratio: 0,
-		Apply: func(x *tensor.Tensor) (*tensor.Tensor, error) {
-			out, _, err := codec.RoundTrip(x)
-			return out, err
-		},
+		Apply: applyCodec(c),
 	}, nil
 }
 
 // ZFP returns a ZFP round-trip transform at the given bits-per-value
 // rate (the Fig. 9 baseline).
 func ZFP(rate float64) (Transform, error) {
-	codec, err := zfp.New(rate)
+	c, err := codec.New(fmt.Sprintf("zfp:rate=%g", rate))
 	if err != nil {
 		return Transform{}, err
 	}
 	return Transform{
-		Label: fmt.Sprintf("zfp %.2f", codec.Ratio()),
-		Ratio: codec.Ratio(),
-		Apply: func(x *tensor.Tensor) (*tensor.Tensor, error) {
-			out, _, err := codec.RoundTrip(x)
-			return out, err
-		},
+		Label: fmt.Sprintf("zfp %.2f", c.Ratio()),
+		Ratio: c.Ratio(),
+		Apply: applyCodec(c),
 	}, nil
 }
 
@@ -325,13 +350,13 @@ func min(a, b int) int {
 // ChopZFP4 returns the future-work ZFP-block-transform round trip at
 // the given chop factor (block size 4, CR = 16/CF²).
 func ChopZFP4(cf, n int) (Transform, error) {
-	c, err := core.NewCompressor(core.Config{ChopFactor: cf, Serialization: 1, Transform: core.TransformZFP4}, n)
+	c, err := dctcAt(fmt.Sprintf("dctc:cf=%d,transform=zfp4", cf), n)
 	if err != nil {
 		return Transform{}, err
 	}
 	return Transform{
-		Label: fmt.Sprintf("zfp4 %.2f", c.Config().Ratio()),
-		Ratio: c.Config().Ratio(),
-		Apply: c.RoundTrip,
+		Label: fmt.Sprintf("zfp4 %.2f", c.Ratio()),
+		Ratio: c.Ratio(),
+		Apply: applyCodec(c),
 	}, nil
 }

@@ -48,26 +48,11 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	order := dct.ZigZag(BlockSize)
-	block := tensor.New(BlockSize, BlockSize)
 	var blocks [][]int
 	for s := 0; s < bd; s++ {
 		for cc := 0; cc < ch; cc++ {
-			for bi := 0; bi < h; bi += BlockSize {
-				for bj := 0; bj < w; bj += BlockSize {
-					for i := 0; i < BlockSize; i++ {
-						for j := 0; j < BlockSize; j++ {
-							block.Set2(x.At4(s, cc, bi+i, bj+j)*255-128, i, j)
-						}
-					}
-					q := QuantizeBlock(dct.Apply2D(block), tables[cc])
-					zz := make([]int, len(order))
-					for k, ix := range order {
-						zz[k] = q[ix]
-					}
-					blocks = append(blocks, zz)
-				}
-			}
+			plane := x.Data()[(s*ch+cc)*h*w : (s*ch+cc+1)*h*w]
+			blocks = appendPlaneBlocks(blocks, plane, h, w, tables[cc])
 		}
 	}
 	body, err := vle.Encode(blocks)
@@ -115,34 +100,120 @@ func Decompress(data []byte) (*tensor.Tensor, error) {
 	if len(blocks) != bd*ch*blocksPerPlane {
 		return nil, fmt.Errorf("jpegq: %d blocks, want %d", len(blocks), bd*ch*blocksPerPlane)
 	}
-	order := dct.ZigZag(BlockSize)
 	out := tensor.New(bd, ch, h, w)
-	ix := 0
 	for s := 0; s < bd; s++ {
 		for cc := 0; cc < ch; cc++ {
-			for bi := 0; bi < h; bi += BlockSize {
-				for bj := 0; bj < w; bj += BlockSize {
-					zz := blocks[ix]
-					ix++
-					if len(zz) != BlockSize*BlockSize {
-						return nil, fmt.Errorf("jpegq: block size %d", len(zz))
-					}
-					var q [64]int
-					for k, oix := range order {
-						q[oix] = zz[k]
-					}
-					rec := dct.Invert2D(DequantizeBlock(q, tables[cc]))
-					for i := 0; i < BlockSize; i++ {
-						for j := 0; j < BlockSize; j++ {
-							v := (rec.At2(i, j) + 128) / 255
-							out.Set4(v, s, cc, bi+i, bj+j)
-						}
-					}
-				}
+			plane := out.Data()[(s*ch+cc)*h*w : (s*ch+cc+1)*h*w]
+			lo := (s*ch + cc) * blocksPerPlane
+			if err := decodePlaneBlocks(plane, h, w, blocks[lo:lo+blocksPerPlane], tables[cc]); err != nil {
+				return nil, err
 			}
 		}
 	}
 	return out, nil
+}
+
+// appendPlaneBlocks runs the lossy half of the pipeline — level shift,
+// 8×8 DCT, quantization, zigzag — over one h×w plane (values in [0,1])
+// and appends the zigzagged blocks.
+func appendPlaneBlocks(blocks [][]int, plane []float32, h, w int, table [64]int) [][]int {
+	order := dct.ZigZag(BlockSize)
+	block := tensor.New(BlockSize, BlockSize)
+	for bi := 0; bi < h; bi += BlockSize {
+		for bj := 0; bj < w; bj += BlockSize {
+			for i := 0; i < BlockSize; i++ {
+				for j := 0; j < BlockSize; j++ {
+					block.Set2(plane[(bi+i)*w+bj+j]*255-128, i, j)
+				}
+			}
+			q := QuantizeBlock(dct.Apply2D(block), table)
+			zz := make([]int, len(order))
+			for k, ix := range order {
+				zz[k] = q[ix]
+			}
+			blocks = append(blocks, zz)
+		}
+	}
+	return blocks
+}
+
+// decodePlaneBlocks inverts appendPlaneBlocks for one plane.
+func decodePlaneBlocks(plane []float32, h, w int, blocks [][]int, table [64]int) error {
+	order := dct.ZigZag(BlockSize)
+	ix := 0
+	for bi := 0; bi < h; bi += BlockSize {
+		for bj := 0; bj < w; bj += BlockSize {
+			zz := blocks[ix]
+			ix++
+			if len(zz) != BlockSize*BlockSize {
+				return fmt.Errorf("jpegq: block size %d", len(zz))
+			}
+			var q [64]int
+			for k, oix := range order {
+				q[oix] = zz[k]
+			}
+			rec := dct.Invert2D(DequantizeBlock(q, table))
+			for i := 0; i < BlockSize; i++ {
+				for j := 0; j < BlockSize; j++ {
+					plane[(bi+i)*w+bj+j] = (rec.At2(i, j) + 128) / 255
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TableFor returns the quality-scaled quantization table for a channel
+// index: channel 0 quantizes with luminance, the rest with chrominance.
+func (c *Codec) TableFor(channel int) ([64]int, error) {
+	base := luminance
+	if channel > 0 {
+		base = chrominance
+	}
+	return ScaleTable(base, c.Quality)
+}
+
+// EncodePlane encodes one h×w plane (values in [0,1], dims multiples of
+// 8) as a standalone RLE+Huffman stream quantized with the table for
+// the given channel index — the plane-parallel entry point the codec
+// registry's pipeline uses.
+func (c *Codec) EncodePlane(plane *tensor.Tensor, channel int) ([]byte, error) {
+	if plane.Dims() != 2 {
+		return nil, fmt.Errorf("jpegq: EncodePlane needs a 2-D plane, got %v", plane.Shape())
+	}
+	h, w := plane.Dim(0), plane.Dim(1)
+	if h%BlockSize != 0 || w%BlockSize != 0 {
+		return nil, fmt.Errorf("jpegq: plane %dx%d not a multiple of %d", h, w, BlockSize)
+	}
+	table, err := c.TableFor(channel)
+	if err != nil {
+		return nil, err
+	}
+	return vle.Encode(appendPlaneBlocks(nil, plane.Data(), h, w, table))
+}
+
+// DecodePlane reconstructs one plane from an EncodePlane stream,
+// writing into the caller's plane tensor.
+func (c *Codec) DecodePlane(data []byte, plane *tensor.Tensor, channel int) error {
+	if plane.Dims() != 2 {
+		return fmt.Errorf("jpegq: DecodePlane needs a 2-D plane, got %v", plane.Shape())
+	}
+	h, w := plane.Dim(0), plane.Dim(1)
+	if h%BlockSize != 0 || w%BlockSize != 0 {
+		return fmt.Errorf("jpegq: plane %dx%d not a multiple of %d", h, w, BlockSize)
+	}
+	table, err := c.TableFor(channel)
+	if err != nil {
+		return err
+	}
+	blocks, err := vle.Decode(data)
+	if err != nil {
+		return err
+	}
+	if want := (h / BlockSize) * (w / BlockSize); len(blocks) != want {
+		return fmt.Errorf("jpegq: %d blocks, want %d", len(blocks), want)
+	}
+	return decodePlaneBlocks(plane.Data(), h, w, blocks, table)
 }
 
 // RoundTrip compresses and decompresses the batch, returning the
@@ -163,11 +234,7 @@ func (c *Codec) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 func (c *Codec) tables(channels int) ([][64]int, error) {
 	out := make([][64]int, channels)
 	for cc := range out {
-		base := luminance
-		if cc > 0 {
-			base = chrominance
-		}
-		t, err := ScaleTable(base, c.Quality)
+		t, err := c.TableFor(cc)
 		if err != nil {
 			return nil, err
 		}

@@ -113,6 +113,22 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 	return out, nil
 }
 
+// StreamDims reads the plane geometry recorded in a compressed stream's
+// header without decoding it — callers use it to validate a stream
+// against an expected shape before allocating the output.
+func StreamDims(data []byte) (planes, h, w int, err error) {
+	if len(data) < 28 {
+		return 0, 0, 0, fmt.Errorf("sz: truncated header (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != magic {
+		return 0, 0, 0, fmt.Errorf("sz: bad magic %#x", binary.LittleEndian.Uint32(data))
+	}
+	planes = int(binary.LittleEndian.Uint32(data[8:]))
+	h = int(binary.LittleEndian.Uint32(data[12:]))
+	w = int(binary.LittleEndian.Uint32(data[16:]))
+	return planes, h, w, nil
+}
+
 // Decompress reconstructs a tensor of the given shape.
 func (c *Codec) Decompress(data []byte, shape ...int) (*tensor.Tensor, error) {
 	get := func(off int) (uint32, error) {

@@ -64,6 +64,14 @@ func (c *Codec) blockBits() int {
 	return int(math.Round(c.Rate * blockValues))
 }
 
+// CompressedBytes returns the exact stream size Compress produces for
+// planes h×w planes — the codec is fixed-rate, so the size is a pure
+// function of the geometry. Callers use it to pre-validate payloads.
+func (c *Codec) CompressedBytes(planes, h, w int) int {
+	blocks := planes * (h / BlockSize) * (w / BlockSize)
+	return (blocks*c.blockBits() + 7) / 8
+}
+
 // Compress encodes every 2-D plane of a [..., h, w] tensor. h and w must
 // be multiples of 4 (the harness pads otherwise).
 func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
