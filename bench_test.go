@@ -220,6 +220,90 @@ func BenchmarkHostDecompress(b *testing.B) {
 	}
 }
 
+// BenchmarkHostRoundTrip512 is the acceptance headline: the fast
+// separable kernel vs the dense fused-matmul reference on the paper's
+// largest resolution. The JSON twin lives in BENCH_seed.json
+// (cmd/acc-bench -hostbench).
+func BenchmarkHostRoundTrip512(b *testing.B) {
+	const n = 512
+	comp := mustComp(b, core.Config{ChopFactor: 4, Serialization: 1}, n)
+	x := benchBatch(1, 3, n)
+	b.Run("fast", func(b *testing.B) {
+		out := tensor.New(1, 3, n, n)
+		if err := comp.RoundTripInto(out, x); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(x.SizeBytes()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := comp.RoundTripInto(out, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.SetBytes(int64(x.SizeBytes()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := comp.RoundTripDense(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHostCompressInto measures the zero-allocation steady-state
+// entry points the training loop uses (allocs/op must report 0).
+func BenchmarkHostCompressInto(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			comp := mustComp(b, core.Config{ChopFactor: 4, Serialization: 1}, n)
+			x := benchBatch(8, 3, n)
+			dst := comp.NewCompressed(8, 3)
+			if err := comp.CompressInto(dst, x); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(x.SizeBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := comp.CompressInto(dst, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHostDecompressInto is the decompression counterpart.
+func BenchmarkHostDecompressInto(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			comp := mustComp(b, core.Config{ChopFactor: 4, Serialization: 1}, n)
+			x := benchBatch(8, 3, n)
+			dst := comp.NewCompressed(8, 3)
+			out := tensor.New(8, 3, n, n)
+			if err := comp.CompressInto(dst, x); err != nil {
+				b.Fatal(err)
+			}
+			if err := comp.DecompressInto(out, dst); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(x.SizeBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := comp.DecompressInto(out, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationMatmul compares the blocked parallel matmul against
 // the naive triple loop (DESIGN.md ablation 2).
 func BenchmarkAblationMatmul(b *testing.B) {
@@ -240,7 +324,8 @@ func BenchmarkAblationMatmul(b *testing.B) {
 
 // BenchmarkAblationFusedVsChain compares the paper's fused
 // (M·T_L)A(T_Lᵀ·Mᵀ) two-matmul form against the unfused four-matmul
-// chain M(T_L·A·T_Lᵀ)Mᵀ (DESIGN.md ablation 1).
+// chain M(T_L·A·T_Lᵀ)Mᵀ (DESIGN.md ablation 1), plus the separable
+// fast kernel that replaces both on the host path.
 func BenchmarkAblationFusedVsChain(b *testing.B) {
 	const n, cf = 128, 4
 	x := benchBatch(8, 3, n)
@@ -249,10 +334,18 @@ func BenchmarkAblationFusedVsChain(b *testing.B) {
 	tlT := tl.Transpose()
 	m := dct.ChopMask(n, cf, dct.BlockSize)
 	mT := m.Transpose()
-	b.Run("fused", func(b *testing.B) {
+	b.Run("fast", func(b *testing.B) {
 		b.SetBytes(int64(x.SizeBytes()))
 		for i := 0; i < b.N; i++ {
 			if _, err := comp.Compress(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.SetBytes(int64(x.SizeBytes()))
+		for i := 0; i < b.N; i++ {
+			if _, err := comp.CompressDense(x); err != nil {
 				b.Fatal(err)
 			}
 		}

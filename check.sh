@@ -14,4 +14,9 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/...
+
+# Host-kernel bench smoke: exercises the fast/dense measurement path end
+# to end and leaves a fresh BENCH_smoke.json to diff against BENCH_seed.json.
+go run ./cmd/acc-bench -hostbench -benchquick -benchname smoke -benchdir . -benchtime 20ms
+
 echo "check.sh: all green"

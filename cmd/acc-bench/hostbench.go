@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Host-kernel benchmark mode: measures the fast separable DCT kernel
+// against the dense fused-matmul reference on this machine's CPU and
+// writes the results as machine-readable BENCH_<name>.json, so CI and
+// future sessions can diff throughput regressions numerically instead
+// of eyeballing table output.
+
+type hostBenchEntry struct {
+	Name        string  `json:"name"`
+	Config      string  `json:"config"`
+	N           int     `json:"n"`
+	Batch       int     `json:"batch"`
+	Channels    int     `json:"channels"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type hostBenchFile struct {
+	Name                string           `json:"name"`
+	GOOS                string           `json:"goos"`
+	GOARCH              string           `json:"goarch"`
+	GOMAXPROCS          int              `json:"gomaxprocs"`
+	RoundTrip512Speedup float64          `json:"roundtrip512_speedup_vs_dense,omitempty"`
+	Benchmarks          []hostBenchEntry `json:"benchmarks"`
+}
+
+type hostBenchCase struct {
+	cfg       core.Config
+	n, bd, ch int
+	op        string // compress | decompress | roundtrip
+	dense     bool
+}
+
+func (c hostBenchCase) label() string {
+	path := "fast"
+	if c.dense {
+		path = "dense"
+	}
+	return fmt.Sprintf("%s/%s/%s/n=%d", c.op, path, c.cfg.String(), c.n)
+}
+
+// hostBenchCases is the measurement matrix. The quick subset (smoke
+// runs in check.sh) keeps one fast/dense pair at n=64; the full set
+// sweeps resolution and covers the SG and partial-serialization
+// variants, including the 512×512 fast-vs-dense pair the speedup
+// headline is computed from.
+func hostBenchCases(full bool) []hostBenchCase {
+	base := core.Config{ChopFactor: 4, Serialization: 1}
+	ops := []string{"compress", "decompress", "roundtrip"}
+	var cases []hostBenchCase
+	add := func(cfg core.Config, n int, dense bool) {
+		for _, op := range ops {
+			cases = append(cases, hostBenchCase{cfg: cfg, n: n, bd: 1, ch: 3, op: op, dense: dense})
+		}
+	}
+	if !full {
+		add(base, 64, false)
+		cases = append(cases, hostBenchCase{cfg: base, n: 64, bd: 1, ch: 3, op: "roundtrip", dense: true})
+		return cases
+	}
+	for _, n := range []int{64, 256, 512} {
+		add(base, n, false)
+	}
+	add(base, 512, true)
+	add(core.Config{ChopFactor: 4, Mode: core.ModeSG, Serialization: 1}, 256, false)
+	add(core.Config{ChopFactor: 4, Serialization: 2}, 256, false)
+	return cases
+}
+
+func measureHostCase(c hostBenchCase) (hostBenchEntry, error) {
+	comp, err := core.NewCompressor(c.cfg, c.n)
+	if err != nil {
+		return hostBenchEntry{}, fmt.Errorf("hostbench %s: %w", c.label(), err)
+	}
+	r := tensor.NewRNG(1)
+	x := r.Uniform(0, 1, c.bd, c.ch, c.n, c.n)
+	dst := comp.NewCompressed(c.bd, c.ch)
+	out := tensor.New(c.bd, c.ch, c.n, c.n)
+	// Warm up pools so the fast path measures steady state.
+	if err := comp.CompressInto(dst, x); err != nil {
+		return hostBenchEntry{}, err
+	}
+	if err := comp.DecompressInto(out, dst); err != nil {
+		return hostBenchEntry{}, err
+	}
+	denseY, err := comp.CompressDense(x)
+	if err != nil {
+		return hostBenchEntry{}, err
+	}
+
+	var body func(b *testing.B)
+	switch {
+	case !c.dense && c.op == "compress":
+		body = func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := comp.CompressInto(dst, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	case !c.dense && c.op == "decompress":
+		body = func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := comp.DecompressInto(out, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	case !c.dense && c.op == "roundtrip":
+		body = func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := comp.RoundTripInto(out, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	case c.dense && c.op == "compress":
+		body = func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.CompressDense(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	case c.dense && c.op == "decompress":
+		body = func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.DecompressDense(denseY); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	default: // dense roundtrip
+		body = func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.RoundTripDense(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(x.SizeBytes()))
+		body(b)
+	})
+	return hostBenchEntry{
+		Name:        c.label(),
+		Config:      c.cfg.String(),
+		N:           c.n,
+		Batch:       c.bd,
+		Channels:    c.ch,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runHostBench measures every case and writes BENCH_<name>.json to dir.
+func runHostBench(name, dir, benchtime string, full bool) error {
+	// testing.Benchmark reads -test.benchtime; register the testing
+	// flags (harmless after flag.Parse — they just take defaults) so the
+	// measurement window is tunable without a test binary.
+	testing.Init()
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return fmt.Errorf("hostbench: bad -benchtime %q: %w", benchtime, err)
+		}
+	}
+	out := hostBenchFile{
+		Name:       name,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	byName := map[string]hostBenchEntry{}
+	for _, c := range hostBenchCases(full) {
+		e, err := measureHostCase(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-44s %12.0f ns/op %10.1f MB/s %6d allocs/op\n", e.Name, e.NsPerOp, e.MBPerS, e.AllocsPerOp)
+		out.Benchmarks = append(out.Benchmarks, e)
+		byName[e.Name] = e
+	}
+	fastKey := hostBenchCase{cfg: core.Config{ChopFactor: 4, Serialization: 1}, n: 512, op: "roundtrip"}.label()
+	denseKey := hostBenchCase{cfg: core.Config{ChopFactor: 4, Serialization: 1}, n: 512, op: "roundtrip", dense: true}.label()
+	if fast, ok := byName[fastKey]; ok {
+		if dense, ok := byName[denseKey]; ok && fast.NsPerOp > 0 {
+			out.RoundTrip512Speedup = dense.NsPerOp / fast.NsPerOp
+			fmt.Printf("512x512 cf=4 roundtrip speedup vs dense: %.1fx\n", out.RoundTrip512Speedup)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(out.Benchmarks))
+	return nil
+}

@@ -13,6 +13,14 @@
 //	acc-bench -fig17           # scatter/gather vs chop on the IPU
 //	acc-bench -all             # everything
 //	acc-bench -all -csv out/   # additionally write one CSV per figure
+//
+// Host-kernel benchmark mode (no device simulation — measures this
+// machine's fast vs dense compress path and writes BENCH_<name>.json):
+//
+//	acc-bench -hostbench -benchname seed
+//	acc-bench -hostbench -benchquick -benchname smoke -benchtime 20ms
+//
+// Either mode accepts -cpuprofile/-memprofile for pprof output.
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/accel"
@@ -43,15 +53,61 @@ func main() {
 		overlap = flag.Bool("overlap", false, "pipeline-masking analysis (§4.2.2 samples/s comparison)")
 		all     = flag.Bool("all", false, "run every table and figure")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files")
+
+		hostbench  = flag.Bool("hostbench", false, "measure host fast-vs-dense kernels, write BENCH_<name>.json")
+		benchName  = flag.String("benchname", "host", "hostbench output label (BENCH_<name>.json)")
+		benchDir   = flag.String("benchdir", ".", "directory for the hostbench JSON file")
+		benchQuick = flag.Bool("benchquick", false, "hostbench smoke subset (n=64 only)")
+		benchTime  = flag.String("benchtime", "300ms", "hostbench per-case measurement time")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *fig10, *fig11, *fig12, *fig13, *fig14, *fig15, *fig17, *zfp4, *overlap =
 			true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15 || *fig17 || *zfp4 || *overlap) {
+	if !(*table1 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15 || *fig17 || *zfp4 || *overlap || *hostbench) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *hostbench {
+		if err := runHostBench(*benchName, *benchDir, *benchTime, !*benchQuick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	emit := func(name string, t *report.Table) {

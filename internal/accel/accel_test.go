@@ -256,7 +256,10 @@ func TestRunExecutesFunctionally(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s run: %v", d.Name(), err)
 		}
-		if !outs[0].Equal(want.Chunks[0]) {
+		// Devices execute the dense fused matmuls; the host compressor
+		// runs the structure-aware fast kernel, so compare within its
+		// conformance tolerance rather than bit-exactly.
+		if !outs[0].AllClose(want.Chunks[0], 1e-5) {
 			t.Errorf("%s produced different compressed data", d.Name())
 		}
 		if stats.SimTime <= 0 {

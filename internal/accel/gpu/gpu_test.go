@@ -100,7 +100,8 @@ func TestGPURunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !outs[0].Equal(want.Chunks[0]) {
+	// Dense graph vs host fast kernel: tolerance, not bit-equality.
+	if !outs[0].AllClose(want.Chunks[0], 1e-5) {
 		t.Fatal("GPU execution differs from host compressor")
 	}
 }

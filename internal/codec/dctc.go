@@ -172,10 +172,13 @@ func (b *dctcBackend) encode(x *tensor.Tensor) ([]byte, error) {
 
 // encodePlanar fans x's planes across the pipeline; each plane payload
 // is the concatenated raw float32 chunk data of its core.Compressed.
+// The per-plane payload tensors come from the compressor's pool, so the
+// only per-plane allocation is the output byte slice itself.
 func (b *dctcBackend) encodePlanar(comp *core.Compressor, x *tensor.Tensor, n int) ([]byte, error) {
 	return compressPlanes(x, n, n, func(p int, plane *tensor.Tensor) ([]byte, error) {
-		y, err := comp.Compress(plane.Reshape(1, 1, n, n))
-		if err != nil {
+		y := comp.AcquireCompressed()
+		defer comp.ReleaseCompressed(y)
+		if err := comp.CompressInto(y, plane.Reshape(1, 1, n, n)); err != nil {
 			return nil, err
 		}
 		out := make([]byte, 0, y.CompressedBytes())
@@ -257,12 +260,9 @@ func (b *dctcBackend) decodePlanar(comp *core.Compressor, out *tensor.Tensor, pa
 		for ci := 0; ci < s*s; ci++ {
 			y.Chunks = append(y.Chunks, tensor.FromSlice(vals[ci*chunkVals:(ci+1)*chunkVals], chunkShape...))
 		}
-		back, err := comp.Decompress(y)
-		if err != nil {
-			return err
-		}
-		copy(plane.Data(), back.Data())
-		return nil
+		// Decompress straight into the output plane view — the fast
+		// kernel writes the reconstruction in place, no staging copy.
+		return comp.DecompressInto(plane.Reshape(1, 1, n, n), y)
 	})
 }
 

@@ -13,7 +13,7 @@ import (
 // This file is the shared batch pipeline: every adapter whose codec is
 // plane-independent (all four families — DCT+Chop, ZFP, SZ and JPEG all
 // process trailing 2-D planes independently) fans a tensor's planes
-// across a runtime.NumCPU()-bounded worker pool, with sync.Pool-reused
+// across a GOMAXPROCS-bounded worker pool, with sync.Pool-reused
 // float32 scratch buffers for the packing/staging copies.
 //
 // Plane-framed payload layout (little-endian):
@@ -22,8 +22,24 @@ import (
 //	u32 × count  per-plane payload lengths
 //	concatenated per-plane payloads
 
-// maxWorkers bounds pipeline concurrency.
-var maxWorkers = runtime.NumCPU()
+// maxWorkers bounds pipeline concurrency. It tracks the scheduler's
+// actual parallelism budget — runtime.GOMAXPROCS(0), not NumCPU — so a
+// process confined to fewer Ps than cores does not oversubscribe.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the pipeline worker cap and returns the
+// previous value. n < 1 resets to runtime.GOMAXPROCS(0). Tests pin the
+// cap to 1 to make plane execution order deterministic; restore the
+// returned value when done. Not safe to call concurrently with
+// in-flight compressions.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
 
 // forEachPlane runs fn(p) for p in [0, planes) on a bounded worker
 // pool, returning the first error (remaining planes may still run).

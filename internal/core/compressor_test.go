@@ -540,7 +540,10 @@ func TestGraphHostEquivalenceProperty(t *testing.T) {
 			return false
 		}
 		outs, err := cg.Execute(map[string]*tensor.Tensor{"A": x})
-		if err != nil || !outs[0].Equal(want.Chunks[0]) {
+		// The graph runs the dense fused matmuls; the host compressor runs
+		// the structure-aware fast kernel. Same math, different summation
+		// order, so compare within the kernel's conformance tolerance.
+		if err != nil || outs[0].MaxAbsDiff(want.Chunks[0]) > 1e-5 {
 			return false
 		}
 		dg, err := c.BuildDecompressGraph(bd, 2)
@@ -555,7 +558,7 @@ func TestGraphHostEquivalenceProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return back[0].Equal(hostBack)
+		return back[0].MaxAbsDiff(hostBack) <= 1e-5
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

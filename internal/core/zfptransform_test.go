@@ -172,7 +172,9 @@ func TestZFPVariantGraphsExecute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !outs[0].Equal(want.Chunks[0]) {
+	// Graph = dense matmuls, host = fast kernel: compare within the
+	// kernel equivalence tolerance, not bit-exactly.
+	if !outs[0].AllClose(want.Chunks[0], 1e-5) {
 		t.Fatal("compress graph disagrees with host compressor")
 	}
 	wantBack, err := c.Decompress(want)
@@ -183,7 +185,7 @@ func TestZFPVariantGraphsExecute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !backOuts[0].Equal(wantBack) {
+	if !backOuts[0].AllClose(wantBack, 1e-5) {
 		t.Fatal("decompress graph disagrees with host compressor")
 	}
 }

@@ -6,11 +6,15 @@ import (
 	"sync"
 )
 
-// matmulParallelThreshold is the output-element count above which MatMul
-// fans work out across GOMAXPROCS workers. Small products (the 8×8 block
-// transforms that dominate unit tests) stay single-threaded to avoid
-// goroutine overhead swamping the arithmetic.
-const matmulParallelThreshold = 64 * 64
+// matmulParallelFlops is the multiply-add count (m·n·k) above which
+// MatMul fans work out across GOMAXPROCS workers. Gating on FLOPs rather
+// than output size m·n keeps skinny products with a huge inner dimension
+// k parallel (their work is real even though the output is small) while
+// the 8×8 block transforms that dominate unit tests stay single-threaded,
+// avoiding goroutine overhead swamping the arithmetic. The value is the
+// cost of a 64³ product, the old 64×64-output threshold at its typical
+// inner dimension.
+const matmulParallelFlops = 64 * 64 * 64
 
 // MatMul returns the matrix product A×B of two 2-D tensors. It uses a
 // cache-blocked i-k-j loop and parallelizes across row bands when the
@@ -40,7 +44,7 @@ func MatMulInto(dst, a, b *Tensor) {
 }
 
 func matmulInto(c, a, b []float32, m, k, n int) {
-	if m*n >= matmulParallelThreshold && m > 1 {
+	if m*n*k >= matmulParallelFlops && m > 1 {
 		matmulParallel(c, a, b, m, k, n)
 		return
 	}
@@ -135,6 +139,30 @@ func BatchedMatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
+// BatchedMatMulInto computes dst = BatchedMatMul(a, b), reusing dst's
+// storage. dst must have a's shape with the last dimension replaced by
+// b's column count. It allocates nothing, so steady-state compress loops
+// can reuse one output across batches.
+func BatchedMatMulInto(dst, a, b *Tensor) {
+	if len(a.shape) < 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulInto requires [...,m,k] × [k,n], got %v × %v", a.shape, b.shape))
+	}
+	m := a.shape[len(a.shape)-2]
+	k := a.shape[len(a.shape)-1]
+	n := b.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: BatchedMatMulInto inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	batch := len(a.data) / (m * k)
+	if len(dst.shape) != len(a.shape) || dst.shape[len(dst.shape)-2] != m ||
+		dst.shape[len(dst.shape)-1] != n || len(dst.data) != batch*m*n {
+		panic(fmt.Sprintf("tensor: BatchedMatMulInto dst %v = %v × %v", dst.shape, a.shape, b.shape))
+	}
+	parallelFor(batch, func(i int) {
+		matmulRange(dst.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data, 0, m, k, n)
+	})
+}
+
 // BatchedMatMulLeft multiplies b (m×k) by every trailing k×n matrix of a:
 // out[i] = b × a[i]. Used for the left multiplication in Eq. 4/6.
 func BatchedMatMulLeft(b, a *Tensor) *Tensor {
@@ -155,6 +183,29 @@ func BatchedMatMulLeft(b, a *Tensor) *Tensor {
 		matmulRange(c.data[i*m*n:(i+1)*m*n], b.data, a.data[i*k*n:(i+1)*k*n], 0, m, k, n)
 	})
 	return c
+}
+
+// BatchedMatMulLeftInto computes dst = BatchedMatMulLeft(b, a), reusing
+// dst's storage: dst[i] = b × a[i]. dst must have a's shape with the
+// second-to-last dimension replaced by b's row count.
+func BatchedMatMulLeftInto(dst, b, a *Tensor) {
+	if len(a.shape) < 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulLeftInto requires [m,k] × [...,k,n], got %v × %v", b.shape, a.shape))
+	}
+	k := a.shape[len(a.shape)-2]
+	n := a.shape[len(a.shape)-1]
+	m := b.shape[0]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchedMatMulLeftInto inner dimension mismatch %v × %v", b.shape, a.shape))
+	}
+	batch := len(a.data) / (k * n)
+	if len(dst.shape) != len(a.shape) || dst.shape[len(dst.shape)-2] != m ||
+		dst.shape[len(dst.shape)-1] != n || len(dst.data) != batch*m*n {
+		panic(fmt.Sprintf("tensor: BatchedMatMulLeftInto dst %v = %v × %v", dst.shape, b.shape, a.shape))
+	}
+	parallelFor(batch, func(i int) {
+		matmulRange(dst.data[i*m*n:(i+1)*m*n], b.data, a.data[i*k*n:(i+1)*k*n], 0, m, k, n)
+	})
 }
 
 // parallelFor runs f(i) for i in [0,n), fanning out across GOMAXPROCS

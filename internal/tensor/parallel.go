@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PlaneJob is a unit of batched per-plane work for ParallelPlanes. It is
+// an interface rather than a func so callers can pass a pooled struct
+// pointer: interface conversion of a pointer does not allocate, which is
+// what keeps the steady-state compress/decompress path allocation-free.
+type PlaneJob interface {
+	// RunPlane processes plane p. Implementations must be safe to call
+	// concurrently for distinct p and must not call ParallelPlanes
+	// (directly or transitively).
+	RunPlane(p int)
+}
+
+// planePool is the process-wide persistent worker pool behind
+// ParallelPlanes. Workers are spawned once, on first parallel use, and
+// live for the life of the process; a round hands them work through
+// plain field writes plus a token channel, so dispatching a round
+// performs no heap allocation (no closures, no per-round goroutines).
+var planePool struct {
+	mu      sync.Mutex // serializes rounds; TryLock'd, never waited on
+	once    sync.Once
+	workers int
+	wake    chan struct{}
+	wg      sync.WaitGroup
+	next    atomic.Int64
+	planes  int
+	job     PlaneJob
+}
+
+func planePoolSpawn() {
+	pp := &planePool
+	pp.workers = runtime.GOMAXPROCS(0)
+	pp.wake = make(chan struct{}, pp.workers)
+	for w := 0; w < pp.workers; w++ {
+		go func() {
+			for range pp.wake {
+				job, planes := pp.job, pp.planes
+				for {
+					p := int(pp.next.Add(1)) - 1
+					if p >= planes {
+						break
+					}
+					job.RunPlane(p)
+				}
+				pp.wg.Done()
+			}
+		}()
+	}
+}
+
+// ParallelPlanes runs job.RunPlane(p) for p in [0, planes), fanning out
+// across a persistent shared worker pool when both the machine and the
+// plane count allow it. Unlike ParallelFor it allocates nothing per
+// call, so it is the iteration primitive for the zero-allocation
+// compress/decompress path. If the pool is busy serving another round
+// (or parallelism cannot help) the planes run serially on the caller's
+// goroutine — correctness never depends on the pool being free.
+func ParallelPlanes(planes int, job PlaneJob) {
+	if planes <= 0 {
+		return
+	}
+	pp := &planePool
+	if planes < 2 || runtime.GOMAXPROCS(0) < 2 || !pp.mu.TryLock() {
+		for p := 0; p < planes; p++ {
+			job.RunPlane(p)
+		}
+		return
+	}
+	defer pp.mu.Unlock()
+	pp.once.Do(planePoolSpawn)
+	workers := pp.workers
+	if workers > planes {
+		workers = planes
+	}
+	pp.job = job
+	pp.planes = planes
+	pp.next.Store(0)
+	pp.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		pp.wake <- struct{}{}
+	}
+	pp.wg.Wait()
+	pp.job = nil
+}
