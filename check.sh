@@ -13,6 +13,9 @@ fi
 
 go vet ./...
 go build ./...
+# 32-bit smoke build: the framing code validates u32 lengths before
+# converting to int, and this catches any reintroduced wrap-around.
+GOOS=linux GOARCH=386 go build ./...
 go test -race ./internal/...
 
 # Host-kernel bench smoke: exercises the fast/dense measurement path end

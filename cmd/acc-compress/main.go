@@ -18,14 +18,29 @@
 //	acc-compress -mode decompress -in batch.accf -out restored.f32
 //	acc-compress -mode roundtrip  -in batch.f32 -bd 10 -c 3 -n 64 -codec dctc:cf=4 -device CS-2
 //
+// With -stream the container format is ACCF v2, a multi-tensor stream
+// of independently CRC-protected records:
+//
+//	acc-compress -mode compress   -stream -in a.f32,b.f32 -out batch.accs -bd 10 -c 3 -n 64 -codec zfp:rate=8 c.f32 d.f32
+//	acc-compress -mode decompress -stream -in batch.accs -out restored
+//
+// Stream compression packs every input (comma-separated -in plus any
+// positional arguments after the flags, all sharing the shape flags)
+// into one stream;
+// stream decompression writes each record to <out>.NNN.f32, decoding
+// record by record with bounded memory.
+//
 // The legacy DCT+Chop flags (-cf, -s, -sg, -transform) still work and
 // map onto a dctc spec when -codec is not given.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/accel/platforms"
 	"repro/internal/codec"
@@ -48,6 +63,7 @@ func main() {
 		serial = flag.Int("s", 1, "legacy: partial-serialization factor")
 		trans  = flag.String("transform", "dct8", "legacy: block transform: dct8 | zfp4")
 		device = flag.String("device", "", "simulate on a device (CS-2, SN30, GroqChip, IPU, A100)")
+		stream = flag.Bool("stream", false, "ACCF v2 stream mode: compress many inputs into one multi-tensor stream, decompress record by record")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -57,6 +73,10 @@ func main() {
 
 	switch *mode {
 	case "compress":
+		if *stream {
+			compressStream(*in, *out, newCodec(*spec, *cf, *sg, *serial, *trans), *bd, *ch, *n)
+			return
+		}
 		x := readTensor(*in, *bd, *ch, *n)
 		c := newCodec(*spec, *cf, *sg, *serial, *trans)
 		data, err := c.Compress(x)
@@ -66,6 +86,10 @@ func main() {
 			c.Spec(), x.SizeBytes(), len(data), float64(x.SizeBytes())/float64(len(data)))
 
 	case "decompress":
+		if *stream {
+			decompressStream(*in, *out)
+			return
+		}
 		// Fully self-describing: codec and shape come from the container
 		// header, so no -codec or shape flags are needed (or consulted).
 		x, c, err := codec.DecodeFile(*in)
@@ -106,6 +130,64 @@ func main() {
 
 	default:
 		check(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// compressStream packs every input file (comma-separated `in` plus the
+// positional arguments, all sharing the shape flags) into one ACCF v2
+// stream at `out`.
+func compressStream(in, out string, c codec.Codec, bd, ch, n int) {
+	if out == "" {
+		check(fmt.Errorf("missing -out"))
+	}
+	var ins []string
+	for _, p := range strings.Split(in, ",") {
+		if p != "" {
+			ins = append(ins, p)
+		}
+	}
+	ins = append(ins, flag.Args()...)
+	f, err := os.Create(out)
+	check(err)
+	sw := codec.NewStreamWriter(f)
+	var raw int64
+	for _, p := range ins {
+		x := readTensor(p, bd, ch, n)
+		check(sw.WriteTensor(context.Background(), c, x))
+		raw += int64(x.SizeBytes())
+	}
+	check(sw.Close())
+	check(f.Close())
+	fi, err := os.Stat(out)
+	check(err)
+	fmt.Printf("%s: streamed %d tensors, %d bytes -> %d bytes (ratio %.2f)\n",
+		c.Spec(), sw.Records(), raw, fi.Size(), float64(raw)/float64(fi.Size()))
+}
+
+// decompressStream unpacks an ACCF v2 stream record by record, writing
+// tensor i to <out>.NNN.f32. Records decode with bounded memory: the
+// reader streams each payload through one plane-group of scratch.
+func decompressStream(in, out string) {
+	if out == "" {
+		check(fmt.Errorf("missing -out"))
+	}
+	f, err := os.Open(in)
+	check(err)
+	defer f.Close()
+	sr, err := codec.NewStreamReader(f)
+	check(err)
+	for i := 0; ; i++ {
+		hdr, err := sr.Next()
+		if err == io.EOF {
+			fmt.Printf("decoded %d records from %s\n", i, in)
+			return
+		}
+		check(err)
+		x, err := sr.Decode(context.Background())
+		check(err)
+		path := fmt.Sprintf("%s.%03d.f32", strings.TrimSuffix(out, ".f32"), i)
+		check(tensorio.WriteTensor(path, x))
+		fmt.Printf("%s: record %d %v -> %s (%d bytes)\n", hdr.Spec, i, hdr.Shape, path, x.SizeBytes())
 	}
 }
 

@@ -15,11 +15,13 @@
 //
 // Compress output is a framed container (see container.go) carrying the
 // spec and the tensor shape, so Decode reconstructs the tensor from the
-// bytes alone — no out-of-band configuration.
+// bytes alone — no out-of-band configuration. Multi-tensor streams use
+// the ACCF v2 record format (see stream.go).
 package codec
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -41,21 +43,36 @@ type Codec interface {
 	Ratio() float64
 	// Compress encodes x into a self-describing container.
 	Compress(x *tensor.Tensor) ([]byte, error)
+	// CompressCtx is Compress under a context: cancelling ctx aborts the
+	// plane pipeline between planes, returning an error that wraps
+	// ctx.Err().
+	CompressCtx(ctx context.Context, x *tensor.Tensor) ([]byte, error)
 	// Decompress reconstructs a tensor from a container produced by any
 	// codec of the same family; shape and options come from the header.
 	Decompress(data []byte) (*tensor.Tensor, error)
+	// DecompressCtx is Decompress under a context (see CompressCtx).
+	DecompressCtx(ctx context.Context, data []byte) (*tensor.Tensor, error)
 	// RoundTrip compresses then decompresses x, returning the
 	// reconstruction and the compressed payload size in bytes.
 	RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error)
 }
 
 // backend is the family-specific half of a codec: raw payload encode /
-// decode, with framing handled by the shared wrapper.
+// decode, with framing handled by the shared wrapper. Both halves honor
+// the context for mid-batch cancellation.
 type backend interface {
 	name() string
 	ratio() float64
-	encode(x *tensor.Tensor) ([]byte, error)
-	decode(payload []byte, shape []int) (*tensor.Tensor, error)
+	encode(ctx context.Context, x *tensor.Tensor) ([]byte, error)
+	decode(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error)
+}
+
+// streamDecoder is implemented by backends that can decode their
+// payload incrementally from a v2 record's chunked payload reader,
+// materializing at most one plane-group of compressed bytes at a time.
+// Backends without it fall back to buffering the record payload.
+type streamDecoder interface {
+	decodeStream(ctx context.Context, r *payloadReader, shape []int) (*tensor.Tensor, error)
 }
 
 // fastRoundTripper is implemented by backends that can round-trip
@@ -76,7 +93,11 @@ func (c *codecImpl) Spec() string   { return c.spec }
 func (c *codecImpl) Ratio() float64 { return c.b.ratio() }
 
 func (c *codecImpl) Compress(x *tensor.Tensor) ([]byte, error) {
-	payload, err := c.b.encode(x)
+	return c.CompressCtx(context.Background(), x)
+}
+
+func (c *codecImpl) CompressCtx(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
+	payload, err := c.b.encode(ctx, x)
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +109,16 @@ func (c *codecImpl) Compress(x *tensor.Tensor) ([]byte, error) {
 }
 
 func (c *codecImpl) Decompress(data []byte) (*tensor.Tensor, error) {
+	return c.DecompressCtx(context.Background(), data)
+}
+
+func (c *codecImpl) DecompressCtx(ctx context.Context, data []byte) (*tensor.Tensor, error) {
 	hdr, payload, err := ReadContainer(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
+	}
+	if hdr.wireSize != len(data) {
+		return nil, fmt.Errorf("codec: %d trailing bytes after container", len(data)-hdr.wireSize)
 	}
 	spec, err := ParseSpec(hdr.Spec)
 	if err != nil {
@@ -109,18 +137,19 @@ func (c *codecImpl) Decompress(data []byte) (*tensor.Tensor, error) {
 		}
 		b = other.(*codecImpl).b
 	}
-	return b.decode(payload, hdr.Shape)
+	return b.decode(ctx, payload, hdr.Shape)
 }
 
 func (c *codecImpl) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 	if fast, ok := c.b.(fastRoundTripper); ok {
 		return fast.fastRoundTrip(x)
 	}
-	payload, err := c.b.encode(x)
+	ctx := context.Background()
+	payload, err := c.b.encode(ctx, x)
 	if err != nil {
 		return nil, 0, err
 	}
-	out, err := c.b.decode(payload, x.Shape())
+	out, err := c.b.decode(ctx, payload, x.Shape())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -199,6 +228,12 @@ func canonicalSpec(family string, b backend) string {
 // self-describing path the CLI decompress mode uses. It returns the
 // tensor and the codec that decoded it.
 func Decode(r io.Reader) (*tensor.Tensor, Codec, error) {
+	return DecodeCtx(context.Background(), r)
+}
+
+// DecodeCtx is Decode under a context: cancelling ctx aborts the plane
+// pipeline between planes.
+func DecodeCtx(ctx context.Context, r io.Reader) (*tensor.Tensor, Codec, error) {
 	hdr, payload, err := ReadContainer(r)
 	if err != nil {
 		return nil, nil, err
@@ -207,24 +242,49 @@ func Decode(r io.Reader) (*tensor.Tensor, Codec, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("codec: container spec %q: %w", hdr.Spec, err)
 	}
-	out, err := c.(*codecImpl).b.decode(payload, hdr.Shape)
+	out, err := c.(*codecImpl).b.decode(ctx, payload, hdr.Shape)
 	if err != nil {
 		return nil, nil, err
 	}
 	return out, c, nil
 }
 
-// DecodeBytes is Decode over an in-memory container.
+// DecodeBytes is Decode over an in-memory container. Unlike Decode on a
+// stream, it requires the container to span data exactly — trailing
+// bytes after a single container are rejected.
 func DecodeBytes(data []byte) (*tensor.Tensor, Codec, error) {
-	return Decode(bytes.NewReader(data))
+	return DecodeBytesCtx(context.Background(), data)
 }
 
-// DecodeFile is Decode over a container file on disk.
-func DecodeFile(path string) (*tensor.Tensor, Codec, error) {
-	f, err := os.Open(path)
+// DecodeBytesCtx is DecodeBytes under a context.
+func DecodeBytesCtx(ctx context.Context, data []byte) (*tensor.Tensor, Codec, error) {
+	hdr, payload, err := ReadContainer(bytes.NewReader(data))
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
-	return Decode(f)
+	if hdr.wireSize != len(data) {
+		return nil, nil, fmt.Errorf("codec: %d trailing bytes after container", len(data)-hdr.wireSize)
+	}
+	c, err := New(hdr.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("codec: container spec %q: %w", hdr.Spec, err)
+	}
+	out, err := c.(*codecImpl).b.decode(ctx, payload, hdr.Shape)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, c, nil
+}
+
+// DecodeFile is Decode over a container file on disk. The file must
+// hold exactly one container: trailing bytes are rejected (multi-tensor
+// files are ACCF v2 streams — use NewStreamReader). A v1 container's
+// payload is fully resident during decode anyway, so reading the file
+// whole costs no extra peak memory.
+func DecodeFile(path string) (*tensor.Tensor, Codec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeBytes(data)
 }

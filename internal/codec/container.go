@@ -44,6 +44,12 @@ const (
 type Header struct {
 	Spec  string
 	Shape []int
+
+	// wireSize is the exact on-wire byte count of the frame this header
+	// was parsed from (v1 container: header + payload; v2 record: header
+	// only). The exact-length decode paths use it to reject trailing
+	// garbage after a supposedly single container.
+	wireSize int
 }
 
 // Elems returns the product of the header's dimensions.
@@ -55,21 +61,35 @@ func (h Header) Elems() int {
 	return n
 }
 
-// WriteContainer frames a payload under the given spec and shape.
-func WriteContainer(w io.Writer, spec string, shape []int, payload []byte) (int64, error) {
+// validateFrame checks the spec/shape/payload-length limits shared by
+// the v1 container writer and the v2 stream record writer.
+func validateFrame(spec string, shape []int, payloadLen int) error {
 	if len(spec) == 0 || len(spec) > maxSpecLen {
-		return 0, fmt.Errorf("codec: spec length %d outside [1,%d]", len(spec), maxSpecLen)
+		return fmt.Errorf("codec: spec length %d outside [1,%d]", len(spec), maxSpecLen)
 	}
 	if len(shape) == 0 || len(shape) > maxRank {
-		return 0, fmt.Errorf("codec: rank %d outside [1,%d]", len(shape), maxRank)
+		return fmt.Errorf("codec: rank %d outside [1,%d]", len(shape), maxRank)
 	}
+	elems := 1
 	for _, d := range shape {
 		if d < 1 || d > maxDim {
-			return 0, fmt.Errorf("codec: dimension %d outside [1,%d]", d, maxDim)
+			return fmt.Errorf("codec: dimension %d outside [1,%d]", d, maxDim)
+		}
+		elems *= d
+		if elems > maxElems {
+			return fmt.Errorf("codec: shape %v exceeds %d elements", shape, maxElems)
 		}
 	}
-	if len(payload) > maxPayload {
-		return 0, fmt.Errorf("codec: payload %d bytes exceeds limit %d", len(payload), maxPayload)
+	if payloadLen > maxPayload {
+		return fmt.Errorf("codec: payload %d bytes exceeds limit %d", payloadLen, maxPayload)
+	}
+	return nil
+}
+
+// WriteContainer frames a payload under the given spec and shape.
+func WriteContainer(w io.Writer, spec string, shape []int, payload []byte) (int64, error) {
+	if err := validateFrame(spec, shape, len(payload)); err != nil {
+		return 0, err
 	}
 	buf := make([]byte, 0, 16+len(spec)+4*len(shape)+len(payload))
 	buf = binary.LittleEndian.AppendUint32(buf, containerMagic)
@@ -139,11 +159,15 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	if _, err := io.ReadFull(br, trailer[:]); err != nil {
 		return hdr, nil, fmt.Errorf("codec: reading payload header: %w", err)
 	}
-	payLen := int(binary.LittleEndian.Uint32(trailer[0:]))
+	// Validate the claimed length as uint32 before converting: on 32-bit
+	// platforms int(uint32 ≥ 2³¹) wraps negative, which would slip past
+	// a signed upper-bound check.
+	payLen32 := binary.LittleEndian.Uint32(trailer[0:])
 	wantCRC := binary.LittleEndian.Uint32(trailer[4:])
-	if payLen > maxPayload {
-		return hdr, nil, fmt.Errorf("codec: payload %d bytes exceeds limit %d", payLen, maxPayload)
+	if payLen32 > maxPayload {
+		return hdr, nil, fmt.Errorf("codec: payload %d bytes exceeds limit %d", payLen32, maxPayload)
 	}
+	payLen := int(payLen32)
 	// Copy incrementally rather than pre-allocating the claimed length,
 	// so truncated streams fail before a large allocation.
 	var payBuf bytes.Buffer
@@ -154,5 +178,6 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
 		return hdr, nil, fmt.Errorf("codec: payload CRC mismatch (stored %#x, computed %#x)", wantCRC, got)
 	}
+	hdr.wireSize = 17 + specLen + 4*int(rank) + payLen
 	return hdr, payload, nil
 }

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -135,13 +136,13 @@ func (b *dctcBackend) flatPlaneN(values int) int {
 	return n
 }
 
-func (b *dctcBackend) encode(x *tensor.Tensor) ([]byte, error) {
+func (b *dctcBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
 	if n, ok := b.planar(x.Shape()); ok {
 		comp, err := b.compilerFor(n)
 		if err != nil {
 			return nil, err
 		}
-		framed, err := b.encodePlanar(comp, x, n)
+		framed, err := b.encodePlanar(ctx, comp, x, n)
 		if err != nil {
 			return nil, err
 		}
@@ -157,16 +158,24 @@ func (b *dctcBackend) encode(x *tensor.Tensor) ([]byte, error) {
 	}
 	plane := planeN * planeN
 	nplanes := (x.Len() + plane - 1) / plane
+	// The padded tail beyond x.Len() is compressed along with the data,
+	// so this scratch must be zeroed.
 	scratch := getScratch(nplanes * plane)
 	defer putScratch(scratch)
 	copy(scratch, x.Data())
 	packed := tensor.FromSlice(scratch, nplanes, 1, planeN, planeN)
-	framed, err := b.encodePlanar(comp, packed, planeN)
+	framed, err := b.encodePlanar(ctx, comp, packed, planeN)
 	if err != nil {
 		return nil, err
 	}
-	head := []byte{dctcModeFlat, 0, 0, 0, 0}
+	// The flat header records the exact element count alongside the
+	// plane edge: nplanes alone cannot distinguish claimed lengths
+	// within one padded plane, so without it a corrupted (v1,
+	// un-CRC'd) dims field could round-trip to a silently wrong
+	// tensor.
+	head := []byte{dctcModeFlat, 0, 0, 0, 0, 0, 0, 0, 0}
 	binary.LittleEndian.PutUint32(head[1:], uint32(planeN))
+	binary.LittleEndian.PutUint32(head[5:], uint32(x.Len()))
 	return append(head, framed...), nil
 }
 
@@ -174,8 +183,8 @@ func (b *dctcBackend) encode(x *tensor.Tensor) ([]byte, error) {
 // is the concatenated raw float32 chunk data of its core.Compressed.
 // The per-plane payload tensors come from the compressor's pool, so the
 // only per-plane allocation is the output byte slice itself.
-func (b *dctcBackend) encodePlanar(comp *core.Compressor, x *tensor.Tensor, n int) ([]byte, error) {
-	return compressPlanes(x, n, n, func(p int, plane *tensor.Tensor) ([]byte, error) {
+func (b *dctcBackend) encodePlanar(ctx context.Context, comp *core.Compressor, x *tensor.Tensor, n int) ([]byte, error) {
+	return compressPlanes(ctx, x, n, n, func(p int, plane *tensor.Tensor) ([]byte, error) {
 		y := comp.AcquireCompressed()
 		defer comp.ReleaseCompressed(y)
 		if err := comp.CompressInto(y, plane.Reshape(1, 1, n, n)); err != nil {
@@ -189,11 +198,15 @@ func (b *dctcBackend) encodePlanar(comp *core.Compressor, x *tensor.Tensor, n in
 	})
 }
 
-func (b *dctcBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+func (b *dctcBackend) decode(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
 	if len(payload) < 1 {
 		return nil, fmt.Errorf("dctc: empty payload")
 	}
 	mode, payload := payload[0], payload[1:]
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
 	switch mode {
 	case dctcModePlanar:
 		n, ok := b.planar(shape)
@@ -204,31 +217,60 @@ func (b *dctcBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error
 		if err != nil {
 			return nil, err
 		}
+		// Split and length-check every plane before allocating the
+		// output, so a tiny corrupted payload claiming a huge shape
+		// fails without the large allocation.
+		parts, err := splitPlanePayloads(payload, elems/(n*n))
+		if err != nil {
+			return nil, err
+		}
+		wantBytes, dec := b.planeDec(comp, n)
+		for p, part := range parts {
+			if len(part) != wantBytes {
+				return nil, fmt.Errorf("dctc: plane %d payload %d bytes, want %d", p, len(part), wantBytes)
+			}
+		}
 		out := tensor.New(shape...)
-		if err := b.decodePlanar(comp, out, payload, n); err != nil {
+		if err := decompressPlanes(ctx, out, n, n, parts, dec); err != nil {
 			return nil, err
 		}
 		return out, nil
 	case dctcModeFlat:
-		if len(payload) < 4 {
+		if len(payload) < 8 {
 			return nil, fmt.Errorf("dctc: flat payload truncated")
 		}
 		planeN := int(binary.LittleEndian.Uint32(payload))
-		payload = payload[4:]
+		encElems := binary.LittleEndian.Uint32(payload[4:])
+		payload = payload[8:]
 		if planeN < 1 || planeN > 1<<12 {
 			return nil, fmt.Errorf("dctc: implausible flat plane edge %d", planeN)
+		}
+		if encElems != uint32(elems) {
+			return nil, fmt.Errorf("dctc: flat payload holds %d values, shape %v implies %d", encElems, shape, elems)
 		}
 		comp, err := b.compilerFor(planeN)
 		if err != nil {
 			return nil, err
 		}
-		out := tensor.New(shape...)
 		plane := planeN * planeN
-		nplanes := (out.Len() + plane - 1) / plane
-		scratch := getScratch(nplanes * plane)
+		nplanes := (elems + plane - 1) / plane
+		parts, err := splitPlanePayloads(payload, nplanes)
+		if err != nil {
+			return nil, err
+		}
+		wantBytes, dec := b.planeDec(comp, planeN)
+		for p, part := range parts {
+			if len(part) != wantBytes {
+				return nil, fmt.Errorf("dctc: plane %d payload %d bytes, want %d", p, len(part), wantBytes)
+			}
+		}
+		out := tensor.New(shape...)
+		// Every plane, padded tail included, is decoded into the
+		// scratch before the copy-out, so no zeroing is needed.
+		scratch := getScratchNoZero(nplanes * plane)
 		defer putScratch(scratch)
 		packed := tensor.FromSlice(scratch, nplanes, 1, planeN, planeN)
-		if err := b.decodePlanar(comp, packed, payload, planeN); err != nil {
+		if err := decompressPlanes(ctx, packed, planeN, planeN, parts, dec); err != nil {
 			return nil, err
 		}
 		copy(out.Data(), scratch[:out.Len()])
@@ -238,22 +280,22 @@ func (b *dctcBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error
 	}
 }
 
-// decodePlanar rebuilds each plane's core.Compressed from its raw chunk
-// floats and decompresses it into out's planes.
-func (b *dctcBackend) decodePlanar(comp *core.Compressor, out *tensor.Tensor, payload []byte, n int) error {
-	parts, err := splitPlanePayloads(payload, out.Len()/(n*n))
-	if err != nil {
-		return err
-	}
+// planeDec returns the fixed per-plane payload size for resolution n
+// and the decode closure that rebuilds a plane's core.Compressed from
+// its raw chunk floats and decompresses it in place — shared by the
+// buffered and streaming decode paths.
+func (b *dctcBackend) planeDec(comp *core.Compressor, n int) (int, func(p int, data []byte, plane *tensor.Tensor) error) {
 	s := b.cfg.Serialization
 	chunkVals := comp.ChunkValues()
 	wantBytes := 4 * s * s * chunkVals
 	chunkShape := append([]int{1, 1}, comp.CompressedPlaneShape()...)
-	return decompressPlanes(out, n, n, parts, func(p int, data []byte, plane *tensor.Tensor) error {
+	dec := func(p int, data []byte, plane *tensor.Tensor) error {
 		if len(data) != wantBytes {
 			return fmt.Errorf("dctc: plane payload %d bytes, want %d", len(data), wantBytes)
 		}
-		vals := getScratch(s * s * chunkVals)
+		// The whole buffer is overwritten by DecodeFloat32s — no-zero
+		// scratch variant.
+		vals := getScratchNoZero(s * s * chunkVals)
 		defer putScratch(vals)
 		tensorio.DecodeFloat32s(vals, data)
 		y := &core.Compressed{Config: b.cfg, BatchSize: 1, Channels: 1, N: n}
@@ -263,7 +305,56 @@ func (b *dctcBackend) decodePlanar(comp *core.Compressor, out *tensor.Tensor, pa
 		// Decompress straight into the output plane view — the fast
 		// kernel writes the reconstruction in place, no staging copy.
 		return comp.DecompressInto(plane.Reshape(1, 1, n, n), y)
-	})
+	}
+	return wantBytes, dec
+}
+
+// decodeStream decodes a planar dctc record incrementally: the exact
+// payload size is checked against the shape before the output tensor is
+// allocated, then planes stream through one plane-group at a time. The
+// flat mode packs into small (≤256×256) scratch planes, so it simply
+// buffers the record payload and reuses the in-memory path.
+func (b *dctcBackend) decodeStream(ctx context.Context, r *payloadReader, shape []int) (*tensor.Tensor, error) {
+	mode, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dctc: reading payload mode: %w", err)
+	}
+	if mode != dctcModePlanar {
+		buf := make([]byte, 1+r.len())
+		buf[0] = mode
+		if err := r.readFull(buf[1:]); err != nil {
+			return nil, fmt.Errorf("dctc: buffering non-planar payload: %w", err)
+		}
+		return b.decode(ctx, buf, shape)
+	}
+	n, ok := b.planar(shape)
+	if !ok {
+		return nil, fmt.Errorf("dctc: planar payload but shape %v is not a compatible [BD,C,n,n] batch", shape)
+	}
+	comp, err := b.compilerFor(n)
+	if err != nil {
+		return nil, err
+	}
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	planes := elems / (n * n)
+	wantBytes, dec := b.planeDec(comp, n)
+	if want := 4 + planes*(4+wantBytes); want != r.len() {
+		return nil, fmt.Errorf("dctc: planar payload %d bytes, want %d for %d planes", r.len(), want, planes)
+	}
+	out := tensor.New(shape...)
+	err = decodePlaneStream(ctx, r, out, n, n, func(p, ln int) error {
+		if ln != wantBytes {
+			return fmt.Errorf("dctc: plane %d payload %d bytes, want %d", p, ln, wantBytes)
+		}
+		return nil
+	}, dec)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Compiler exposes the compiled core.Compressor behind a dctc codec at

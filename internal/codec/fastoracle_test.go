@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func TestSetMaxWorkersSequential(t *testing.T) {
 	defer SetMaxWorkers(prev)
 
 	var order []int
-	if err := forEachPlane(32, func(p int) error {
+	if err := forEachPlane(context.Background(), 32, func(p int) error {
 		order = append(order, p)
 		return nil
 	}); err != nil {

@@ -1,0 +1,207 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/codec/faultinject"
+	"repro/internal/tensor"
+)
+
+// mk builds a deterministic test tensor with values in [0,1] (jpegq
+// requires the nominal image range; the others don't care).
+func mk(shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	d := x.Data()
+	for i := range d {
+		d[i] = float32((i*2654435761)%1000) / 999
+	}
+	return x
+}
+
+// v1Cases cover every codec family and both payload framings (planar
+// and flat/packed), so the region scan exercises every mode byte and
+// plane-table variant the decoder can meet.
+var v1Cases = []struct {
+	name  string
+	spec  string
+	shape []int
+}{
+	{"dctc-planar", "dctc:cf=4", []int{1, 2, 16, 16}},
+	{"dctc-flat", "dctc:cf=4", []int{100}},
+	{"zfp-planar", "zfp:rate=8", []int{3, 8, 8}},
+	{"zfp-flat", "zfp:rate=8", []int{100}},
+	{"sz-planar", "sz:eb=1e-3", []int{3, 5, 7}},
+	{"sz-flat", "sz:eb=1e-3", []int{64}},
+	{"jpegq", "jpegq:q=50", []int{1, 2, 8, 8}},
+}
+
+// decodeV1 runs the container decoder on one mutant, converting any
+// panic into a test failure.
+func decodeV1(t *testing.T, desc string, data []byte) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s: decode panicked: %v", desc, r)
+			err = io.ErrUnexpectedEOF
+		}
+	}()
+	_, _, err = codec.DecodeBytes(data)
+	return err
+}
+
+// TestV1FaultInjection mutates every structural boundary of a v1
+// container and requires the decoder to fail cleanly. The one tolerated
+// silent path is the spec string's interior: v1 does not CRC its
+// header, so a bit flip there can produce a different-but-valid spec
+// that decodes without complaint. (The v2 record header closes exactly
+// this hole.)
+func TestV1FaultInjection(t *testing.T) {
+	for _, tc := range v1Cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := codec.New(tc.spec)
+			if err != nil {
+				t.Fatalf("New(%q): %v", tc.spec, err)
+			}
+			data, err := c.Compress(mk(tc.shape...))
+			if err != nil {
+				t.Fatalf("Compress: %v", err)
+			}
+			if _, _, err := codec.DecodeBytes(data); err != nil {
+				t.Fatalf("pristine container does not decode: %v", err)
+			}
+			regions, err := faultinject.V1Regions(data)
+			if err != nil {
+				t.Fatalf("V1Regions: %v", err)
+			}
+			requireRegions(t, regions, "magic", "version", "speclen", "spec", "rank", "dims", "paylen", "paycrc", "payload.plane-count", "payload.plane-table", "eof")
+			mutants := 0
+			for _, r := range regions {
+				for _, m := range faultinject.Mutate(data, r) {
+					mutants++
+					err := decodeV1(t, m.Desc, m.Data)
+					if err == nil && !strings.HasPrefix(m.Desc, "spec/") {
+						t.Errorf("%s: corrupted container decoded without error", m.Desc)
+					}
+				}
+			}
+			if mutants == 0 {
+				t.Fatal("no mutants generated")
+			}
+		})
+	}
+}
+
+// requireRegions fails unless every wanted region name is present.
+func requireRegions(t *testing.T, regions []faultinject.Region, want ...string) {
+	t.Helper()
+	have := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		have[r.Name] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("region scan missing %q (have %d regions)", w, len(regions))
+		}
+	}
+}
+
+// buildStream assembles a three-record v2 stream spanning three codec
+// families (and both plane framings).
+func buildStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := codec.NewStreamWriter(&buf)
+	sw.SetChunkSize(4 << 10)
+	for _, rec := range []struct {
+		spec  string
+		shape []int
+	}{
+		{"dctc:cf=4", []int{1, 2, 16, 16}},
+		{"zfp:rate=8", []int{100}},
+		{"sz:eb=1e-3", []int{3, 5, 7}},
+	} {
+		c, err := codec.New(rec.spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", rec.spec, err)
+		}
+		if err := sw.WriteTensor(context.Background(), c, mk(rec.shape...)); err != nil {
+			t.Fatalf("WriteTensor(%q): %v", rec.spec, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// readStream fully consumes a v2 stream (decoding every record),
+// returning the first error; a panic anywhere fails the test.
+func readStream(t *testing.T, desc string, data []byte) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s: stream decode panicked: %v", desc, r)
+			err = io.ErrUnexpectedEOF
+		}
+	}()
+	sr, err := codec.NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := sr.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if _, err := sr.Decode(context.Background()); err != nil {
+			return err
+		}
+	}
+}
+
+// TestV2FaultInjection mutates every structural boundary of a v2
+// stream. Unlike v1 there is no tolerated silent path: the record
+// header (spec and shape included) is CRC-protected, payload bytes are
+// chunk-CRC-protected, and framing damage is a structural error. Every
+// mutant must fail, and failures inside the record sequence must report
+// a stream byte offset.
+func TestV2FaultInjection(t *testing.T) {
+	data := buildStream(t)
+	if err := readStream(t, "pristine", data); err != nil {
+		t.Fatalf("pristine stream does not decode: %v", err)
+	}
+	regions, err := faultinject.V2Regions(data)
+	if err != nil {
+		t.Fatalf("V2Regions: %v", err)
+	}
+	requireRegions(t, regions,
+		"header.magic", "header.version", "header.reserved",
+		"rec0.marker", "rec0.speclen", "rec0.spec", "rec0.rank", "rec0.dims", "rec0.paylen", "rec0.crc",
+		"rec0.chunk0.len", "rec0.chunk0.crc", "rec0.chunk0.data",
+		"rec1.marker", "rec2.marker", "end.marker", "eof")
+	mutants := 0
+	for _, r := range regions {
+		for _, m := range faultinject.Mutate(data, r) {
+			mutants++
+			err := readStream(t, m.Desc, m.Data)
+			if err == nil {
+				t.Errorf("%s: corrupted stream decoded without error", m.Desc)
+				continue
+			}
+			if r.Off >= 8 && !strings.Contains(err.Error(), "offset") {
+				t.Errorf("%s: error lacks a stream offset: %v", m.Desc, err)
+			}
+		}
+	}
+	if mutants == 0 {
+		t.Fatal("no mutants generated")
+	}
+	t.Logf("verified %d mutants across %d regions", mutants, len(regions))
+}

@@ -1,6 +1,9 @@
 package codec
 
 import (
+	"bytes"
+	"context"
+	"io"
 	"testing"
 
 	"repro/internal/tensor"
@@ -44,6 +47,57 @@ func FuzzContainerDecode(f *testing.F) {
 	f.Add([]byte("ACCF"))
 	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 1, 0, 0xFF, 0xFF})
 
+	// Plane-framed-layer seeds: containers whose codec payload is
+	// structurally damaged below the (valid) container framing, steering
+	// the fuzzer at the mode bytes, plane count, and plane table.
+	frame := func(spec string, shape []int, payload []byte) []byte {
+		var buf bytes.Buffer
+		if _, err := WriteContainer(&buf, spec, shape, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, spec := range []string{"dctc:cf=4", "sz:eb=1e-2", "zfp:rate=8"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		flat, err := c.Compress(small)
+		if err != nil {
+			f.Fatal(err)
+		}
+		hdr, payload, err := ReadContainer(bytes.NewReader(flat))
+		if err != nil {
+			f.Fatal(err)
+		}
+		// Mutated mode byte (flat <-> planar <-> garbage).
+		for _, mode := range []byte{0, 1, 2, 0xFF} {
+			mut := append([]byte(nil), payload...)
+			mut[0] = mode
+			f.Add(frame(hdr.Spec, hdr.Shape, mut))
+		}
+		// Truncated plane table: count intact, table cut mid-entry.
+		if len(payload) > 7 {
+			f.Add(frame(hdr.Spec, hdr.Shape, payload[:7]))
+		}
+		// Oversize plane count over an empty table.
+		huge := append([]byte{payload[0]}, 0xFF, 0xFF, 0xFF, 0xFF)
+		f.Add(frame(hdr.Spec, hdr.Shape, huge))
+	}
+	// An ACCF v2 stream fed to the v1 decoder must be rejected by the
+	// version check, not misparsed.
+	var sb bytes.Buffer
+	sw := NewStreamWriter(&sb)
+	if c, err := New("sz:eb=1e-2"); err != nil {
+		f.Fatal(err)
+	} else if err := sw.WriteTensor(context.Background(), c, small); err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, c, err := DecodeBytes(data)
 		if err != nil {
@@ -57,6 +111,79 @@ func FuzzContainerDecode(f *testing.F) {
 		}
 		if out.Dims() == 0 || out.Dims() > maxRank {
 			t.Fatalf("implausible rank %d accepted", out.Dims())
+		}
+	})
+}
+
+// FuzzStreamDecode hardens the ACCF v2 streaming reader: arbitrary
+// bytes must produce a clean error or a consistent decode, never a
+// panic or unbounded allocation. Records whose (CRC-valid) header
+// claims a large shape are skipped rather than decoded so the fuzzer
+// cannot spend its budget on giant but well-formed tensors.
+func FuzzStreamDecode(f *testing.F) {
+	x := tensor.New(2, 1, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%29) / 29
+	}
+	small := tensor.New(5)
+	copy(small.Data(), []float32{1, 2, 3, 4, 5})
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	sw.SetChunkSize(4 << 10)
+	for _, spec := range []string{"dctc:cf=4", "zfp:rate=8", "sz:eb=1e-2"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.WriteTensor(context.Background(), c, x); err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.WriteTensor(context.Background(), c, small); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	f.Add(pristine)
+	f.Add(pristine[:len(pristine)/2])
+	f.Add(pristine[:8])
+	flip := append([]byte(nil), pristine...)
+	flip[len(flip)/3] ^= 0x10
+	f.Add(flip)
+	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 2, 0, 0, 0, 'E'})
+	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 2, 0, 0, 0, 'T', 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			hdr, err := sr.Next()
+			if err != nil {
+				if err != io.EOF && sr.err == nil {
+					t.Fatal("non-EOF error from Next is not sticky")
+				}
+				return
+			}
+			if hdr.Elems() > 1<<22 {
+				if err := sr.Skip(); err != nil {
+					return
+				}
+				continue
+			}
+			out, err := sr.Decode(context.Background())
+			if err != nil {
+				return
+			}
+			if out == nil {
+				t.Fatal("nil tensor without error")
+			}
+			if out.Len() != hdr.Elems() {
+				t.Fatalf("decoded %d elements, header claims %d", out.Len(), hdr.Elems())
+			}
 		}
 	})
 }

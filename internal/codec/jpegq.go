@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/jpegq"
@@ -19,6 +20,13 @@ import (
 type jpegqBackend struct {
 	codec *jpegq.Codec
 }
+
+// maxJPEGQExpansion bounds the output elements a jpegq payload byte may
+// claim. The entropy coder spends a few bits per 8×8 block even on
+// all-zero planes, so genuine streams stay far below 512 values/byte;
+// a corrupted header claiming a huge shape over a tiny payload fails
+// here before the output allocation.
+const maxJPEGQExpansion = 512
 
 func init() {
 	register("jpegq", func(o *Options) (backend, error) {
@@ -50,29 +58,56 @@ func (b *jpegqBackend) checkShape(shape []int) (int, int, int, error) {
 	return shape[1], h, w, nil
 }
 
-func (b *jpegqBackend) encode(x *tensor.Tensor) ([]byte, error) {
+func (b *jpegqBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
 	ch, h, w, err := b.checkShape(x.Shape())
 	if err != nil {
 		return nil, err
 	}
-	return compressPlanes(x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
+	return compressPlanes(ctx, x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
 		return b.codec.EncodePlane(plane, p%ch)
 	})
 }
 
-func (b *jpegqBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+func (b *jpegqBackend) decode(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
 	ch, h, w, err := b.checkShape(shape)
 	if err != nil {
 		return nil, err
+	}
+	if elems := shape[0] * ch * h * w; elems > maxJPEGQExpansion*len(payload) {
+		return nil, fmt.Errorf("jpegq: %d-byte payload implausibly small for %d elements", len(payload), elems)
 	}
 	parts, err := splitPlanePayloads(payload, shape[0]*ch)
 	if err != nil {
 		return nil, err
 	}
 	out := tensor.New(shape...)
-	if err := decompressPlanes(out, h, w, parts, func(p int, data []byte, plane *tensor.Tensor) error {
+	if err := decompressPlanes(ctx, out, h, w, parts, b.planeDec(ch)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// planeDec returns the per-plane decode closure; the channel index
+// picks the quantization table, exactly as in encode.
+func (b *jpegqBackend) planeDec(ch int) func(p int, data []byte, plane *tensor.Tensor) error {
+	return func(p int, data []byte, plane *tensor.Tensor) error {
 		return b.codec.DecodePlane(data, plane, p%ch)
-	}); err != nil {
+	}
+}
+
+// decodeStream decodes a jpegq record incrementally, one plane-group at
+// a time (jpegq payloads have no mode byte — the plane framing starts
+// immediately).
+func (b *jpegqBackend) decodeStream(ctx context.Context, r *payloadReader, shape []int) (*tensor.Tensor, error) {
+	ch, h, w, err := b.checkShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	if elems := shape[0] * ch * h * w; elems > maxJPEGQExpansion*r.len() {
+		return nil, fmt.Errorf("jpegq: %d-byte payload implausibly small for %d elements", r.len(), elems)
+	}
+	out := tensor.New(shape...)
+	if err := decodePlaneStream(ctx, r, out, h, w, nil, b.planeDec(ch)); err != nil {
 		return nil, err
 	}
 	return out, nil

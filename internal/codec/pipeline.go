@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
@@ -42,10 +43,21 @@ func SetMaxWorkers(n int) int {
 }
 
 // forEachPlane runs fn(p) for p in [0, planes) on a bounded worker
-// pool, returning the first error (remaining planes may still run).
-func forEachPlane(planes int, fn func(p int) error) error {
+// pool. Every claimed plane runs to completion and errors are collected
+// per plane, so the same bad input always reports the lowest-indexed
+// failing plane regardless of worker scheduling. Cancelling ctx is the
+// one early exit: workers stop claiming planes and the context error is
+// returned (wrapped, satisfying errors.Is) unless a plane that already
+// ran failed first.
+func forEachPlane(ctx context.Context, planes int, fn func(p int) error) error {
 	if planes <= 0 {
 		return nil
+	}
+	// context.Background and friends have a nil Done channel; skip the
+	// per-plane cancellation checks entirely for them.
+	cancellable := ctx.Done() != nil
+	if cancellable && ctx.Err() != nil {
+		return fmt.Errorf("codec: plane pipeline: %w", ctx.Err())
 	}
 	workers := maxWorkers
 	if workers > planes {
@@ -53,6 +65,9 @@ func forEachPlane(planes int, fn func(p int) error) error {
 	}
 	if workers <= 1 {
 		for p := 0; p < planes; p++ {
+			if cancellable && ctx.Err() != nil {
+				return fmt.Errorf("codec: plane pipeline cancelled before plane %d: %w", p, ctx.Err())
+			}
 			if err := fn(p); err != nil {
 				return err
 			}
@@ -60,29 +75,42 @@ func forEachPlane(planes int, fn func(p int) error) error {
 		return nil
 	}
 	var (
-		next     atomic.Int64
-		firstErr atomic.Value
-		wg       sync.WaitGroup
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
+	// Each worker writes only the slots it claimed; wg.Wait orders every
+	// write before the scan below, so the slice needs no further locking.
+	errs := make([]error, planes)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancellable && ctx.Err() != nil {
+					return
+				}
 				p := int(next.Add(1)) - 1
-				if p >= planes || firstErr.Load() != nil {
+				if p >= planes {
 					return
 				}
-				if err := fn(p); err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
+				errs[p] = fn(p)
 			}
 		}()
 	}
 	wg.Wait()
-	if err := firstErr.Load(); err != nil {
-		return err.(error)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			claimed := int(next.Load())
+			if claimed > planes {
+				claimed = planes
+			}
+			return fmt.Errorf("codec: plane pipeline cancelled after claiming %d of %d planes: %w", claimed, planes, err)
+		}
 	}
 	return nil
 }
@@ -90,16 +118,24 @@ func forEachPlane(planes int, fn func(p int) error) error {
 // scratchPool recycles float32 staging buffers across planes and calls.
 var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
 
-// getScratch returns a zeroed scratch buffer of length n.
-func getScratch(n int) []float32 {
+// getScratchNoZero returns a scratch buffer of length n with arbitrary
+// contents — for callers that overwrite every element before reading
+// any (the flat decode paths decode into every plane, padded tail
+// included, before copying out).
+func getScratchNoZero(n int) []float32 {
 	bp := scratchPool.Get().(*[]float32)
 	if cap(*bp) < n {
 		*bp = make([]float32, n)
 	}
-	buf := (*bp)[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
+	return (*bp)[:n]
+}
+
+// getScratch returns a zeroed scratch buffer of length n — for callers
+// that read elements they never wrote, like the flat encode paths whose
+// zero-padded tail is compressed along with the data.
+func getScratch(n int) []float32 {
+	buf := getScratchNoZero(n)
+	clear(buf)
 	return buf
 }
 
@@ -108,13 +144,40 @@ func putScratch(buf []float32) {
 	scratchPool.Put(&buf)
 }
 
+// byteScratchPool recycles byte staging buffers (plane-group reads,
+// length tables) across streaming decodes.
+var byteScratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getByteScratch returns a byte buffer of length n with arbitrary
+// contents.
+func getByteScratch(n int) []byte {
+	bp := byteScratchPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// putByteScratch returns a buffer to the pool.
+func putByteScratch(buf []byte) {
+	byteScratchPool.Put(&buf)
+}
+
 // compressPlanes encodes every h×w plane of x concurrently with enc and
 // assembles the plane-framed payload. Plane p is the zero-copy view of
-// x.Data()[p·h·w : (p+1)·h·w] shaped [h, w].
-func compressPlanes(x *tensor.Tensor, h, w int, enc func(p int, plane *tensor.Tensor) ([]byte, error)) ([]byte, error) {
+// x.Data()[p·h·w : (p+1)·h·w] shaped [h, w]. A tensor whose length is
+// not a whole number of planes is an error — silently truncating the
+// tail would decode to a different tensor.
+func compressPlanes(ctx context.Context, x *tensor.Tensor, h, w int, enc func(p int, plane *tensor.Tensor) ([]byte, error)) ([]byte, error) {
+	if h < 1 || w < 1 {
+		return nil, fmt.Errorf("codec: invalid plane size %d×%d", h, w)
+	}
+	if x.Len()%(h*w) != 0 {
+		return nil, fmt.Errorf("codec: tensor length %d is not a whole number of %d×%d planes (%d trailing values)", x.Len(), h, w, x.Len()%(h*w))
+	}
 	planes := x.Len() / (h * w)
 	parts := make([][]byte, planes)
-	err := forEachPlane(planes, func(p int) error {
+	err := forEachPlane(ctx, planes, func(p int) error {
 		plane := tensor.FromSlice(x.Data()[p*h*w:(p+1)*h*w], h, w)
 		out, err := enc(p, plane)
 		if err != nil {
@@ -144,25 +207,28 @@ func compressPlanes(x *tensor.Tensor, h, w int, enc func(p int, plane *tensor.Te
 // splitPlanePayloads validates a plane-framed payload against the
 // expected plane count and returns the per-plane slices (views into
 // payload). Called before any output allocation, so implausible frames
-// fail cheaply.
+// fail cheaply. Lengths are validated as uint32 before conversion — on
+// 32-bit platforms a length ≥ 2³¹ must not wrap negative.
 func splitPlanePayloads(payload []byte, wantPlanes int) ([][]byte, error) {
 	if len(payload) < 4 {
 		return nil, fmt.Errorf("codec: plane-framed payload truncated (%d bytes)", len(payload))
 	}
-	planes := int(binary.LittleEndian.Uint32(payload))
-	if planes != wantPlanes {
-		return nil, fmt.Errorf("codec: payload holds %d planes, shape implies %d", planes, wantPlanes)
+	planeCount := binary.LittleEndian.Uint32(payload)
+	if wantPlanes < 0 || planeCount != uint32(wantPlanes) {
+		return nil, fmt.Errorf("codec: payload holds %d planes, shape implies %d", planeCount, wantPlanes)
 	}
+	planes := wantPlanes
 	if len(payload) < 4+4*planes {
 		return nil, fmt.Errorf("codec: plane length table truncated")
 	}
 	parts := make([][]byte, planes)
 	off := 4 + 4*planes
 	for p := 0; p < planes; p++ {
-		plen := int(binary.LittleEndian.Uint32(payload[4+4*p:]))
-		if plen < 0 || off+plen > len(payload) {
-			return nil, fmt.Errorf("codec: plane %d payload (%d bytes at offset %d) overruns frame", p, plen, off)
+		plen32 := binary.LittleEndian.Uint32(payload[4+4*p:])
+		if uint64(plen32) > uint64(len(payload)-off) {
+			return nil, fmt.Errorf("codec: plane %d payload (%d bytes at offset %d) overruns frame", p, plen32, off)
 		}
+		plen := int(plen32)
 		parts[p] = payload[off : off+plen]
 		off += plen
 	}
@@ -175,13 +241,25 @@ func splitPlanePayloads(payload []byte, wantPlanes int) ([][]byte, error) {
 // decompressPlanes decodes pre-split plane payloads concurrently into
 // out's h×w planes. dec receives a zero-copy view of plane p; planes
 // are disjoint, so concurrent writes are race-free.
-func decompressPlanes(out *tensor.Tensor, h, w int, parts [][]byte, dec func(p int, data []byte, plane *tensor.Tensor) error) error {
+func decompressPlanes(ctx context.Context, out *tensor.Tensor, h, w int, parts [][]byte, dec func(p int, data []byte, plane *tensor.Tensor) error) error {
 	if want := out.Len() / (h * w); want != len(parts) {
 		return fmt.Errorf("codec: %d plane payloads for %d planes", len(parts), want)
 	}
-	return forEachPlane(len(parts), func(p int) error {
+	return decompressPlaneRange(ctx, out, h, w, 0, parts, dec)
+}
+
+// decompressPlaneRange decodes parts into out's planes
+// [first, first+len(parts)) — the streaming decoder hands groups of
+// planes through here as their bytes arrive, so out fills incrementally
+// without the whole payload ever being resident.
+func decompressPlaneRange(ctx context.Context, out *tensor.Tensor, h, w, first int, parts [][]byte, dec func(p int, data []byte, plane *tensor.Tensor) error) error {
+	if last := first + len(parts); first < 0 || last > out.Len()/(h*w) {
+		return fmt.Errorf("codec: plane range [%d,%d) outside tensor's %d planes", first, last, out.Len()/(h*w))
+	}
+	return forEachPlane(ctx, len(parts), func(i int) error {
+		p := first + i
 		plane := tensor.FromSlice(out.Data()[p*h*w:(p+1)*h*w], h, w)
-		if err := dec(p, parts[p], plane); err != nil {
+		if err := dec(p, parts[i], plane); err != nil {
 			return fmt.Errorf("codec: plane %d: %w", p, err)
 		}
 		return nil

@@ -1,9 +1,12 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -13,7 +16,7 @@ import (
 func TestForEachPlaneRunsAll(t *testing.T) {
 	const planes = 137
 	var hits [planes]atomic.Int32
-	if err := forEachPlane(planes, func(p int) error {
+	if err := forEachPlane(context.Background(), planes, func(p int) error {
 		hits[p].Add(1)
 		return nil
 	}); err != nil {
@@ -28,7 +31,7 @@ func TestForEachPlaneRunsAll(t *testing.T) {
 
 func TestForEachPlanePropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := forEachPlane(64, func(p int) error {
+	err := forEachPlane(context.Background(), 64, func(p int) error {
 		if p == 13 {
 			return boom
 		}
@@ -44,7 +47,7 @@ func TestPlaneFramingRoundTrip(t *testing.T) {
 	for i := range x.Data() {
 		x.Data()[i] = float32(i)
 	}
-	payload, err := compressPlanes(x, 4, 4, func(p int, plane *tensor.Tensor) ([]byte, error) {
+	payload, err := compressPlanes(context.Background(), x, 4, 4, func(p int, plane *tensor.Tensor) ([]byte, error) {
 		// Variable-length per-plane payload: p+1 copies of byte p.
 		out := make([]byte, p+1)
 		for i := range out {
@@ -173,4 +176,70 @@ func ExampleNew() {
 	c, _ := New("dctc:cf=4,sg")
 	fmt.Println(c.Name(), c.Spec())
 	// Output: dctc dctc:cf=4,sg
+}
+
+// TestForEachPlaneLowestIndexedError pins the determinism contract:
+// when several planes fail concurrently, the pipeline reports the
+// lowest-indexed failure no matter which worker finishes first. Plane 3
+// is made the slowest failure by spinning until every other plane is
+// claimed, so a first-error-wins implementation would report plane 40.
+func TestForEachPlaneLowestIndexedError(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(4)) // force the concurrent path
+	const planes = 64
+	var claimed atomic.Int64
+	err3 := errors.New("plane 3 failed")
+	err40 := errors.New("plane 40 failed")
+	err := forEachPlane(context.Background(), planes, func(p int) error {
+		claimed.Add(1)
+		switch p {
+		case 3:
+			for claimed.Load() < planes {
+				// Wait until the whole batch is claimed, so plane 40's
+				// error lands first in wall-clock order.
+				runtime.Gosched()
+			}
+			return err3
+		case 40:
+			return err40
+		}
+		return nil
+	})
+	if !errors.Is(err, err3) {
+		t.Fatalf("got %v, want the lowest-indexed failure (plane 3)", err)
+	}
+}
+
+// TestCompressPlanesRaggedLength: a tensor that is not a whole number
+// of planes must be rejected, not silently truncated.
+func TestCompressPlanesRaggedLength(t *testing.T) {
+	x := tensor.New(100)
+	_, err := compressPlanes(context.Background(), x, 3, 3, func(p int, plane *tensor.Tensor) ([]byte, error) {
+		return []byte{0}, nil
+	})
+	if err == nil {
+		t.Fatal("100 values over 3×3 planes compressed without error")
+	}
+	if want := "1 trailing values"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the trailing values", err)
+	}
+}
+
+// TestGetScratchNoZero checks the no-zero variant really skips the
+// clear (the zeroing variant is the one with the stronger contract, so
+// reuse must surface stale data here, not zeros).
+func TestGetScratchNoZero(t *testing.T) {
+	a := getScratchNoZero(64)
+	for i := range a {
+		a[i] = 42
+	}
+	putScratch(a)
+	b := getScratchNoZero(64)
+	defer putScratch(b)
+	// sync.Pool may or may not hand back the same buffer; only assert
+	// when it did.
+	if &a[0] == &b[0] {
+		if b[0] != 42 {
+			t.Fatal("no-zero scratch was cleared")
+		}
+	}
 }

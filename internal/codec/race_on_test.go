@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceEnabled reports whether the race detector is compiled in; the
+// large-stream memory test skips under race, where the shadow memory
+// and instrumented kernels make a 100 MB+ roundtrip impractical.
+const raceEnabled = true

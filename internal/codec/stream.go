@@ -1,0 +1,566 @@
+package codec
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// ACCF v2 is the streaming multi-tensor container: a sequence of
+// independently decodable, CRC-protected records framing one tensor
+// each. Unlike the v1 container (one monolithic payload, CRC over the
+// payload only), v2 protects the record header itself with a CRC and
+// splits the payload into CRC-protected chunks, so decode can stream
+// with bounded memory and corruption is reported with a byte position.
+//
+// Layout, all fields little-endian:
+//
+//	stream header:
+//	  0   4   magic "ACCF"
+//	  4   2   format version (2)
+//	  6   2   reserved (0)
+//	record, repeated:
+//	  +0  1   marker: 'T' (0x54) tensor record, 'E' (0x45) end of stream
+//	tensor record, after the marker:
+//	  +0  2   spec length L
+//	  +2  L   codec spec string
+//	  +2+L 1  tensor rank R
+//	  …   4·R dims (uint32 each)
+//	  …   4   payload length P
+//	  …   4   header CRC32 (IEEE) over marker..payload-length
+//	  …       chunked payload until P bytes delivered:
+//	            u32 chunk length C (1..min(P remaining, 64 MiB))
+//	            u32 chunk CRC32 (IEEE)
+//	            C bytes
+//	end-of-stream record: the marker alone; nothing may follow it.
+//
+// The reader never buffers a whole payload: chunk bytes flow straight
+// into the decoder's plane-group scratch, with CRCs verified as the
+// bytes pass through. A corrupted chunk therefore surfaces before its
+// group's Decode call can return success.
+const (
+	streamVersion = 2
+
+	recTensor = 0x54 // 'T'
+	recEnd    = 0x45 // 'E'
+
+	// maxStreamChunk bounds a chunk length a record may claim.
+	maxStreamChunk = 1 << 26
+	// defaultStreamChunk is the writer's chunk size.
+	defaultStreamChunk = 1 << 20
+	// minStreamChunk floors configurable chunk sizes.
+	minStreamChunk = 4 << 10
+)
+
+// planeGroupBytes is the target size of one streamed plane-group read —
+// the decoder's peak transient buffer. A single plane larger than this
+// forms a group of one.
+const planeGroupBytes = 1 << 20
+
+// StreamWriter frames a sequence of tensors as ACCF v2 records on w.
+// It buffers one record's encoded payload at a time (peak memory is
+// bounded by the largest single tensor's payload), never the stream.
+type StreamWriter struct {
+	w       io.Writer
+	chunk   int
+	started bool
+	closed  bool
+	records int
+}
+
+// NewStreamWriter returns a StreamWriter targeting w. The stream header
+// is written lazily on the first record (or Close).
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{w: w, chunk: defaultStreamChunk}
+}
+
+// SetChunkSize overrides the payload chunk size, clamped to
+// [4 KiB, 64 MiB]. Smaller chunks localize corruption and lower the
+// reader's transient buffer; larger chunks shave framing overhead.
+// Must be called before the first WriteTensor.
+func (sw *StreamWriter) SetChunkSize(n int) {
+	if n < minStreamChunk {
+		n = minStreamChunk
+	}
+	if n > maxStreamChunk {
+		n = maxStreamChunk
+	}
+	sw.chunk = n
+}
+
+// Records reports how many tensor records have been written.
+func (sw *StreamWriter) Records() int { return sw.records }
+
+func (sw *StreamWriter) writeStreamHeader() error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], containerMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], streamVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], 0)
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("codec: writing stream header: %w", err)
+	}
+	sw.started = true
+	return nil
+}
+
+// WriteTensor appends one tensor record, encoded with c (which must be
+// a registry codec). The record is self-describing: spec and shape ride
+// in its CRC-protected header.
+func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tensor) error {
+	if sw.closed {
+		return fmt.Errorf("codec: stream writer is closed")
+	}
+	impl, ok := c.(*codecImpl)
+	if !ok {
+		return fmt.Errorf("codec: %T is not a registry codec", c)
+	}
+	shape := x.Shape()
+	if err := validateFrame(impl.spec, shape, 0); err != nil {
+		return err
+	}
+	payload, err := impl.b.encode(ctx, x)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("codec: payload %d bytes exceeds limit %d", len(payload), maxPayload)
+	}
+	if !sw.started {
+		if err := sw.writeStreamHeader(); err != nil {
+			return err
+		}
+	}
+	// Record header: marker..payload-length, then its CRC.
+	hdr := make([]byte, 0, 12+len(impl.spec)+4*len(shape))
+	hdr = append(hdr, recTensor)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(impl.spec)))
+	hdr = append(hdr, impl.spec...)
+	hdr = append(hdr, byte(len(shape)))
+	for _, d := range shape {
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(d))
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+	if _, err := sw.w.Write(hdr); err != nil {
+		return fmt.Errorf("codec: writing record header: %w", err)
+	}
+	for off := 0; off < len(payload); {
+		n := len(payload) - off
+		if n > sw.chunk {
+			n = sw.chunk
+		}
+		chunk := payload[off : off+n]
+		var ch [8]byte
+		binary.LittleEndian.PutUint32(ch[0:], uint32(n))
+		binary.LittleEndian.PutUint32(ch[4:], crc32.ChecksumIEEE(chunk))
+		if _, err := sw.w.Write(ch[:]); err != nil {
+			return fmt.Errorf("codec: writing chunk header: %w", err)
+		}
+		if _, err := sw.w.Write(chunk); err != nil {
+			return fmt.Errorf("codec: writing chunk: %w", err)
+		}
+		off += n
+	}
+	sw.records++
+	return nil
+}
+
+// Close terminates the stream with the end-of-stream marker. It does
+// not close the underlying writer.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	if !sw.started {
+		if err := sw.writeStreamHeader(); err != nil {
+			return err
+		}
+	}
+	if _, err := sw.w.Write([]byte{recEnd}); err != nil {
+		return fmt.Errorf("codec: writing end-of-stream marker: %w", err)
+	}
+	sw.closed = true
+	return nil
+}
+
+// StreamReader decodes an ACCF v2 stream record by record: Next parses
+// and returns the next record's header, then Decode (or Skip) consumes
+// its payload. Peak extra memory during Decode is one plane-group
+// buffer, not the record payload. All errors carry the stream byte
+// offset; any error other than the clean io.EOF from Next is sticky —
+// a corrupted stream cannot be resynchronized.
+type StreamReader struct {
+	br  *bufio.Reader
+	off int64 // bytes consumed from the underlying stream
+	rec int   // records seen (1-based once Next succeeds)
+	hdr Header
+	cur *payloadReader // pending record payload, nil between records
+	err error          // sticky failure (or io.EOF after the end marker)
+	// codecs caches resolved codecs by spec: multi-record streams
+	// typically repeat one spec, and some backends (dctc) compile
+	// per-resolution state that must not be rebuilt per record.
+	codecs map[string]Codec
+}
+
+// NewStreamReader validates the stream header and returns a reader
+// positioned before the first record.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	sr := &StreamReader{br: bufio.NewReaderSize(r, 64<<10), codecs: make(map[string]Codec)}
+	var fixed [8]byte
+	if err := sr.readFull(fixed[:]); err != nil {
+		return nil, fmt.Errorf("codec: reading stream header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(fixed[0:]); m != containerMagic {
+		return nil, fmt.Errorf("codec: bad magic %#x (not an ACCF stream)", m)
+	}
+	if v := binary.LittleEndian.Uint16(fixed[4:]); v != streamVersion {
+		return nil, fmt.Errorf("codec: unsupported stream version %d (want %d)", v, streamVersion)
+	}
+	if rsv := binary.LittleEndian.Uint16(fixed[6:]); rsv != 0 {
+		return nil, fmt.Errorf("codec: nonzero reserved field %#x in stream header", rsv)
+	}
+	return sr, nil
+}
+
+// readFull reads exactly len(p) bytes, tracking the stream offset.
+func (sr *StreamReader) readFull(p []byte) error {
+	n, err := io.ReadFull(sr.br, p)
+	sr.off += int64(n)
+	return err
+}
+
+// posf builds a position-bearing error and latches it as the reader's
+// sticky failure.
+func (sr *StreamReader) posf(format string, args ...any) error {
+	err := fmt.Errorf("codec: stream offset %d (record %d): %s", sr.off, sr.rec, fmt.Sprintf(format, args...))
+	sr.err = err
+	return err
+}
+
+// posw wraps an underlying error with the stream position and latches
+// it, preserving the chain for errors.Is/As.
+func (sr *StreamReader) posw(context string, err error) error {
+	wrapped := fmt.Errorf("codec: stream offset %d (record %d): %s: %w", sr.off, sr.rec, context, err)
+	sr.err = wrapped
+	return wrapped
+}
+
+// Next advances to the next record and returns its header. It returns
+// io.EOF (exactly, not wrapped) after a well-formed end-of-stream
+// marker; a stream that simply stops without the marker is a truncation
+// error. An unconsumed previous payload is skipped (CRC-verified)
+// first.
+func (sr *StreamReader) Next() (Header, error) {
+	if sr.err != nil {
+		return Header{}, sr.err
+	}
+	if sr.cur != nil {
+		if err := sr.Skip(); err != nil {
+			return Header{}, err
+		}
+	}
+	marker, err := sr.br.ReadByte()
+	if err != nil {
+		return Header{}, sr.posw("reading record marker", noEOF(err))
+	}
+	sr.off++
+	switch marker {
+	case recEnd:
+		// Nothing may follow the end marker: a concatenation or a
+		// duplicated tail is a framing error, not silently ignored.
+		if _, err := sr.br.ReadByte(); err == nil {
+			return Header{}, sr.posf("trailing data after end-of-stream marker")
+		} else if err != io.EOF {
+			return Header{}, sr.posw("probing for end of stream", err)
+		}
+		sr.err = io.EOF
+		return Header{}, io.EOF
+	case recTensor:
+	default:
+		return Header{}, sr.posf("bad record marker %#x", marker)
+	}
+	sr.rec++
+
+	// Accumulate the variable-length header exactly as written so the
+	// CRC can be verified before the fields are trusted.
+	raw := make([]byte, 3, 64)
+	raw[0] = recTensor
+	if err := sr.readFull(raw[1:3]); err != nil {
+		return Header{}, sr.posw("reading spec length", noEOF(err))
+	}
+	specLen := int(binary.LittleEndian.Uint16(raw[1:3]))
+	if specLen == 0 || specLen > maxSpecLen {
+		return Header{}, sr.posf("spec length %d outside [1,%d]", specLen, maxSpecLen)
+	}
+	raw = append(raw, make([]byte, specLen+1)...)
+	if err := sr.readFull(raw[3:]); err != nil {
+		return Header{}, sr.posw("reading spec", noEOF(err))
+	}
+	rank := int(raw[len(raw)-1])
+	if rank == 0 || rank > maxRank {
+		return Header{}, sr.posf("rank %d outside [1,%d]", rank, maxRank)
+	}
+	base := len(raw)
+	raw = append(raw, make([]byte, 4*rank+4)...)
+	if err := sr.readFull(raw[base:]); err != nil {
+		return Header{}, sr.posw("reading dims", noEOF(err))
+	}
+	var crcBuf [4]byte
+	if err := sr.readFull(crcBuf[:]); err != nil {
+		return Header{}, sr.posw("reading header CRC", noEOF(err))
+	}
+	if want, got := binary.LittleEndian.Uint32(crcBuf[:]), crc32.ChecksumIEEE(raw); want != got {
+		return Header{}, sr.posf("record header CRC mismatch (stored %#x, computed %#x)", want, got)
+	}
+
+	hdr := Header{Spec: string(raw[3 : 3+specLen])}
+	hdr.Shape = make([]int, rank)
+	elems := 1
+	for i := range hdr.Shape {
+		d := binary.LittleEndian.Uint32(raw[base+4*i:])
+		if d < 1 || d > maxDim {
+			return Header{}, sr.posf("dimension %d outside [1,%d]", d, maxDim)
+		}
+		hdr.Shape[i] = int(d)
+		elems *= int(d)
+		if elems > maxElems {
+			return Header{}, sr.posf("shape %v exceeds %d elements", hdr.Shape, maxElems)
+		}
+	}
+	payLen := binary.LittleEndian.Uint32(raw[base+4*rank:])
+	if payLen > maxPayload {
+		return Header{}, sr.posf("payload %d bytes exceeds limit %d", payLen, maxPayload)
+	}
+	hdr.wireSize = len(raw) + 4
+	sr.hdr = hdr
+	sr.cur = &payloadReader{sr: sr, remaining: int(payLen)}
+	return hdr, nil
+}
+
+// Decode decompresses the pending record into a tensor, streaming the
+// payload through at most one plane-group of scratch at a time. The
+// codec is resolved from the record's (CRC-verified) spec.
+func (sr *StreamReader) Decode(ctx context.Context) (*tensor.Tensor, error) {
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if sr.cur == nil {
+		return nil, fmt.Errorf("codec: no pending record (call Next first)")
+	}
+	c, ok := sr.codecs[sr.hdr.Spec]
+	var err error
+	if !ok {
+		if c, err = New(sr.hdr.Spec); err != nil {
+			return nil, sr.posw(fmt.Sprintf("record spec %q", sr.hdr.Spec), err)
+		}
+		sr.codecs[sr.hdr.Spec] = c
+	}
+	b := c.(*codecImpl).b
+	var out *tensor.Tensor
+	if sd, ok := b.(streamDecoder); ok {
+		out, err = sd.decodeStream(ctx, sr.cur, sr.hdr.Shape)
+	} else {
+		// No streaming support in this backend: buffer the one record.
+		buf := make([]byte, sr.cur.len())
+		if err = sr.cur.readFull(buf); err == nil {
+			out, err = b.decode(ctx, buf, sr.hdr.Shape)
+		}
+	}
+	if err != nil {
+		if sr.err == nil {
+			return nil, sr.posw("decoding record", err)
+		}
+		return nil, sr.err
+	}
+	if sr.cur.len() != 0 {
+		return nil, sr.posf("%d trailing payload bytes after decode", sr.cur.len())
+	}
+	sr.cur = nil
+	return out, nil
+}
+
+// Skip drains the pending record's payload, still verifying every chunk
+// CRC, without decoding it.
+func (sr *StreamReader) Skip() error {
+	if sr.err != nil {
+		return sr.err
+	}
+	if sr.cur == nil {
+		return nil
+	}
+	buf := getByteScratch(32 << 10)
+	defer putByteScratch(buf)
+	for sr.cur.len() > 0 {
+		n := sr.cur.len()
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if err := sr.cur.readFull(buf[:n]); err != nil {
+			return err
+		}
+	}
+	sr.cur = nil
+	return nil
+}
+
+// noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a record (or
+// before the end marker) running out of bytes is a truncation, and a
+// bare io.EOF would masquerade as a clean end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// payloadReader streams one record's chunked payload. It implements
+// io.Reader; bytes flow straight from the underlying stream into the
+// caller's buffer while a running CRC is folded per chunk — the reader
+// itself buffers nothing beyond the stream's bufio window.
+type payloadReader struct {
+	sr        *StreamReader
+	remaining int    // payload bytes not yet delivered
+	chunkLeft int    // bytes left in the current chunk
+	crc       uint32 // running CRC of the current chunk
+	wantCRC   uint32
+	chunkOff  int64 // stream offset of the current chunk's first byte
+}
+
+// len reports the payload bytes not yet delivered.
+func (r *payloadReader) len() int { return r.remaining }
+
+func (r *payloadReader) Read(p []byte) (int, error) {
+	if r.sr.err != nil {
+		return 0, r.sr.err
+	}
+	if r.remaining == 0 {
+		return 0, io.EOF
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if r.chunkLeft == 0 {
+		var ch [8]byte
+		if err := r.sr.readFull(ch[:]); err != nil {
+			return 0, r.sr.posw("reading chunk header", noEOF(err))
+		}
+		clen := binary.LittleEndian.Uint32(ch[0:])
+		if clen == 0 || clen > maxStreamChunk || uint64(clen) > uint64(r.remaining) {
+			return 0, r.sr.posf("chunk length %d outside [1,%d] with %d payload bytes left", clen, maxStreamChunk, r.remaining)
+		}
+		r.chunkLeft = int(clen)
+		r.wantCRC = binary.LittleEndian.Uint32(ch[4:])
+		r.crc = 0
+		r.chunkOff = r.sr.off
+	}
+	n := len(p)
+	if n > r.chunkLeft {
+		n = r.chunkLeft
+	}
+	if err := r.sr.readFull(p[:n]); err != nil {
+		return 0, r.sr.posw("reading chunk", noEOF(err))
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, p[:n])
+	r.chunkLeft -= n
+	r.remaining -= n
+	if r.chunkLeft == 0 && r.crc != r.wantCRC {
+		return 0, r.sr.posf("chunk at offset %d CRC mismatch (stored %#x, computed %#x)", r.chunkOff, r.wantCRC, r.crc)
+	}
+	return n, nil
+}
+
+// ReadByte reads one payload byte.
+func (r *payloadReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if err := r.readFull(b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// readFull fills p from the payload, treating a short payload as an
+// error.
+func (r *payloadReader) readFull(p []byte) error {
+	off := 0
+	for off < len(p) {
+		n, err := r.Read(p[off:])
+		if err != nil {
+			if err == io.EOF {
+				return r.sr.posf("payload truncated: want %d more bytes", len(p)-off)
+			}
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// decodePlaneStream incrementally decodes a plane-framed payload from r
+// into out's h×w planes: the plane length table is read and validated
+// first (checkLen, when non-nil, vets each entry before any plane data
+// arrives), then planes are read and decoded one plane-group at a time
+// — the group buffer is the decoder's only transient allocation.
+func decodePlaneStream(ctx context.Context, r *payloadReader, out *tensor.Tensor, h, w int, checkLen func(p, n int) error, dec func(p int, data []byte, plane *tensor.Tensor) error) error {
+	want := out.Len() / (h * w)
+	var head [4]byte
+	if err := r.readFull(head[:]); err != nil {
+		return fmt.Errorf("codec: reading plane count: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(head[:]); got != uint32(want) {
+		return fmt.Errorf("codec: payload holds %d planes, shape implies %d", got, want)
+	}
+	table := getByteScratch(4 * want)
+	defer putByteScratch(table)
+	if err := r.readFull(table); err != nil {
+		return fmt.Errorf("codec: reading plane length table: %w", err)
+	}
+	lens := make([]int, want)
+	var total uint64
+	for p := range lens {
+		n32 := binary.LittleEndian.Uint32(table[4*p:])
+		total += uint64(n32)
+		if total > uint64(r.len()) {
+			return fmt.Errorf("codec: plane %d payload (%d bytes) overruns record", p, n32)
+		}
+		lens[p] = int(n32)
+		if checkLen != nil {
+			if err := checkLen(p, lens[p]); err != nil {
+				return err
+			}
+		}
+	}
+	if total != uint64(r.len()) {
+		return fmt.Errorf("codec: %d trailing bytes after plane payloads", uint64(r.len())-total)
+	}
+	for p0 := 0; p0 < want; {
+		gBytes := lens[p0]
+		p1 := p0 + 1
+		for p1 < want && gBytes+lens[p1] <= planeGroupBytes {
+			gBytes += lens[p1]
+			p1++
+		}
+		buf := getByteScratch(gBytes)
+		if err := r.readFull(buf); err != nil {
+			putByteScratch(buf)
+			return fmt.Errorf("codec: reading plane group [%d,%d): %w", p0, p1, err)
+		}
+		parts := make([][]byte, p1-p0)
+		off := 0
+		for i := range parts {
+			parts[i] = buf[off : off+lens[p0+i]]
+			off += lens[p0+i]
+		}
+		err := decompressPlaneRange(ctx, out, h, w, p0, parts, dec)
+		putByteScratch(buf)
+		if err != nil {
+			return err
+		}
+		p0 = p1
+	}
+	return nil
+}

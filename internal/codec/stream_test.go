@@ -1,0 +1,334 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// mkStreamTensor builds a deterministic test tensor with values in
+// [0,1] so every family (jpegq included) accepts it.
+func mkStreamTensor(shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	d := x.Data()
+	for i := range d {
+		d[i] = float32((i*2654435761)%1000) / 999
+	}
+	return x
+}
+
+// streamCases cover every codec family and both plane framings.
+var streamCases = []struct {
+	spec  string
+	shape []int
+}{
+	{"dctc:cf=4", []int{2, 1, 16, 16}},
+	{"dctc:cf=4", []int{100}},
+	{"zfp:rate=8", []int{3, 8, 8}},
+	{"zfp:rate=8", []int{100}},
+	{"sz:eb=1e-3", []int{3, 5, 7}},
+	{"sz:eb=1e-3", []int{64}},
+	{"jpegq:q=50", []int{1, 2, 8, 8}},
+}
+
+// TestStreamRoundTrip writes one record per case and reads them back,
+// requiring each streamed decode to match the v1 container roundtrip of
+// the same tensor bit for bit (both paths run the identical backend
+// payload, so even the lossy families must agree exactly).
+func TestStreamRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	sw.SetChunkSize(4 << 10) // force multi-chunk payloads where possible
+	want := make([]*tensor.Tensor, len(streamCases))
+	specs := make([]string, len(streamCases))
+	for i, tc := range streamCases {
+		c, err := New(tc.spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", tc.spec, err)
+		}
+		specs[i] = c.Spec()
+		x := mkStreamTensor(tc.shape...)
+		if err := sw.WriteTensor(ctx, c, x); err != nil {
+			t.Fatalf("WriteTensor(%q): %v", tc.spec, err)
+		}
+		data, err := c.Compress(x)
+		if err != nil {
+			t.Fatalf("Compress(%q): %v", tc.spec, err)
+		}
+		if want[i], _, err = DecodeBytes(data); err != nil {
+			t.Fatalf("DecodeBytes(%q): %v", tc.spec, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if sw.Records() != len(streamCases) {
+		t.Fatalf("Records() = %d, want %d", sw.Records(), len(streamCases))
+	}
+
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewStreamReader: %v", err)
+	}
+	for i, tc := range streamCases {
+		hdr, err := sr.Next()
+		if err != nil {
+			t.Fatalf("record %d: Next: %v", i, err)
+		}
+		if hdr.Spec != specs[i] {
+			t.Errorf("record %d: spec %q, want %q", i, hdr.Spec, specs[i])
+		}
+		if len(hdr.Shape) != len(tc.shape) {
+			t.Fatalf("record %d: shape %v, want %v", i, hdr.Shape, tc.shape)
+		}
+		out, err := sr.Decode(ctx)
+		if err != nil {
+			t.Fatalf("record %d (%s): Decode: %v", i, tc.spec, err)
+		}
+		if out.Len() != want[i].Len() {
+			t.Fatalf("record %d: %d elements, want %d", i, out.Len(), want[i].Len())
+		}
+		for j, v := range out.Data() {
+			if v != want[i].Data()[j] {
+				t.Fatalf("record %d (%s): value %d = %g, container roundtrip %g", i, tc.spec, j, v, want[i].Data()[j])
+			}
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next after last record: %v, want io.EOF", err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("repeated Next after EOF: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamSkip checks that Next auto-skips an unconsumed payload
+// (with CRC verification) and that records decode independently.
+func TestStreamSkip(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	c, err := New("sz:eb=1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []*tensor.Tensor{mkStreamTensor(4, 6, 6), mkStreamTensor(2, 5, 5), mkStreamTensor(3, 4, 4)}
+	for _, x := range xs {
+		if err := sw.WriteTensor(ctx, c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil { // record 0: never consumed
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil { // auto-skip, then record 1
+		t.Fatal(err)
+	}
+	out, err := sr.Decode(ctx)
+	if err != nil {
+		t.Fatalf("decoding record 1 after skipping record 0: %v", err)
+	}
+	if out.Len() != xs[1].Len() {
+		t.Fatalf("record 1: %d elements, want %d", out.Len(), xs[1].Len())
+	}
+	hdr, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Skip(); err != nil { // explicit skip of record 2
+		t.Fatal(err)
+	}
+	if _, err := sr.Decode(ctx); err == nil {
+		t.Fatal("Decode after Skip succeeded; want no-pending-record error")
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next at end: %v, want io.EOF", err)
+	}
+	_ = hdr
+}
+
+// TestStreamWriterLifecycle covers close-twice, write-after-close, and
+// the empty stream (header + end marker only).
+func TestStreamWriterLifecycle(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	c, err := New("sz:eb=1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteTensor(ctx, c, mkStreamTensor(8)); err == nil {
+		t.Fatal("WriteTensor after Close succeeded")
+	}
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next on empty stream: %v, want io.EOF", err)
+	}
+}
+
+// TestPipelineCancellation is the mid-flight abort contract: cancelling
+// the context during a 64-plane compression stops the pipeline before
+// it claims every plane, and the error satisfies errors.Is(...,
+// context.Canceled).
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const planes = 64
+	x := mkStreamTensor(planes, 4, 4)
+	var calls atomic.Int64
+	_, err := compressPlanes(ctx, x, 4, 4, func(p int, plane *tensor.Tensor) ([]byte, error) {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+		return []byte{byte(p)}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not satisfy errors.Is(context.Canceled)", err)
+	}
+	if n := calls.Load(); n >= planes {
+		t.Fatalf("all %d planes ran despite cancellation after plane 3", n)
+	} else {
+		t.Logf("cancellation stopped the pipeline after %d of %d planes", n, planes)
+	}
+}
+
+// TestCompressCtxPreCancelled checks the public entry points reject an
+// already-cancelled context without touching a plane.
+func TestCompressCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := New("dctc:cf=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mkStreamTensor(4, 1, 16, 16)
+	if _, err := c.CompressCtx(ctx, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompressCtx error %v, want context.Canceled", err)
+	}
+	data, err := c.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecompressCtx(ctx, data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecompressCtx error %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamDecodeBoundedMemory is the peak-memory contract: decoding a
+// >100 MB multi-tensor stream must allocate roughly the output tensors
+// plus one plane-group of transient scratch — never a whole record
+// payload. A payload-buffering decoder would allocate ≥ 2× the output
+// bytes and trip the bound.
+func TestStreamDecodeBoundedMemory(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race shadow memory makes the 100 MB roundtrip impractical")
+	}
+	if testing.Short() {
+		t.Skip("100 MB stream roundtrip skipped in -short mode")
+	}
+	ctx := context.Background()
+	// dctc with cf=blocksize keeps ratio 1, so payload bytes ≈ input
+	// bytes: 4 records × [7,1,1024,1024] float32 ≈ 112 MB of stream.
+	c, err := New("dctc:cf=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const records = 4
+	shape := []int{7, 1, 1024, 1024}
+	x := mkStreamTensor(shape...)
+	outBytes := records * 4 * x.Len()
+
+	path := filepath.Join(t.TempDir(), "big.accs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewStreamWriter(f)
+	for i := 0; i < records; i++ {
+		if err := sw.WriteTensor(ctx, c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 100<<20 {
+		t.Fatalf("stream is %d bytes; the test needs ≥ 100 MB to be meaningful", fi.Size())
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	sr, err := NewStreamReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	decoded := 0
+	for {
+		if _, err := sr.Next(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		out, err := sr.Decode(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != x.Len() {
+			t.Fatalf("record %d: %d elements, want %d", decoded, out.Len(), x.Len())
+		}
+		decoded++
+	}
+	runtime.ReadMemStats(&after)
+	if decoded != records {
+		t.Fatalf("decoded %d records, want %d", decoded, records)
+	}
+	alloc := after.TotalAlloc - before.TotalAlloc
+	// Budget: the four output tensors (unavoidable) plus pooled
+	// plane-group/plane scratch and slack. Buffering even one record's
+	// payload adds 28 MB; buffering each adds ≥ 112 MB.
+	budget := uint64(outBytes) + 48<<20
+	t.Logf("decoded %d MB across %d records with %d MB total allocation (budget %d MB)",
+		outBytes>>20, records, alloc>>20, budget>>20)
+	if alloc > budget {
+		t.Fatalf("decode allocated %d MB, budget %d MB — a record payload is being buffered", alloc>>20, budget>>20)
+	}
+}

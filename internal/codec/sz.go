@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sz"
@@ -40,7 +41,7 @@ func (b *szBackend) canonical() string {
 	return fmt.Sprintf("eb=%g", b.codec.ErrorBound)
 }
 
-func (b *szBackend) encode(x *tensor.Tensor) ([]byte, error) {
+func (b *szBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
 	if x.Len() == 0 {
 		return nil, fmt.Errorf("sz: empty tensor")
 	}
@@ -52,7 +53,7 @@ func (b *szBackend) encode(x *tensor.Tensor) ([]byte, error) {
 		mode, h, w = szModeFlat, 1, x.Len()
 		x = x.Reshape(1, w)
 	}
-	framed, err := compressPlanes(x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
+	framed, err := compressPlanes(ctx, x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
 		return b.codec.Compress(plane)
 	})
 	if err != nil {
@@ -61,23 +62,53 @@ func (b *szBackend) encode(x *tensor.Tensor) ([]byte, error) {
 	return append([]byte{mode}, framed...), nil
 }
 
-func (b *szBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
-	if len(payload) < 1 {
-		return nil, fmt.Errorf("sz: empty payload")
-	}
-	mode, payload := payload[0], payload[1:]
-	elems := 1
+// planeGeometry resolves the plane size for a payload mode and target
+// shape, shared by the buffered and streaming decode paths.
+func (b *szBackend) planeGeometry(mode byte, shape []int) (h, w, elems int, err error) {
+	elems = 1
 	for _, d := range shape {
 		elems *= d
 	}
-	var h, w int
 	switch {
 	case mode == szModePlanar && len(shape) >= 2:
 		h, w = shape[len(shape)-2], shape[len(shape)-1]
 	case mode == szModeFlat && len(shape) == 1:
 		h, w = 1, elems
 	default:
-		return nil, fmt.Errorf("sz: payload mode %d does not match shape %v", mode, shape)
+		return 0, 0, 0, fmt.Errorf("sz: payload mode %d does not match shape %v", mode, shape)
+	}
+	return h, w, elems, nil
+}
+
+// planeDec returns the per-plane decode closure: it re-validates the
+// plane stream's recorded geometry (the sz stream is itself
+// self-describing) before decompressing into the output plane.
+func (b *szBackend) planeDec(h, w int) func(p int, data []byte, plane *tensor.Tensor) error {
+	return func(p int, data []byte, plane *tensor.Tensor) error {
+		planes, sh, sw, err := sz.StreamDims(data)
+		if err != nil {
+			return err
+		}
+		if planes != 1 || sh != h || sw != w {
+			return fmt.Errorf("sz: stream is %d×%dx%d, want 1×%dx%d", planes, sh, sw, h, w)
+		}
+		back, err := b.codec.Decompress(data, plane.Shape()...)
+		if err != nil {
+			return err
+		}
+		copy(plane.Data(), back.Data())
+		return nil
+	}
+}
+
+func (b *szBackend) decode(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("sz: empty payload")
+	}
+	mode, payload := payload[0], payload[1:]
+	h, w, elems, err := b.planeGeometry(mode, shape)
+	if err != nil {
+		return nil, err
 	}
 	parts, err := splitPlanePayloads(payload, elems/(h*w))
 	if err != nil {
@@ -98,14 +129,30 @@ func (b *szBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) 
 	if mode == szModeFlat {
 		view = out.Reshape(1, w)
 	}
-	if err := decompressPlanes(view, h, w, parts, func(p int, data []byte, plane *tensor.Tensor) error {
-		back, err := b.codec.Decompress(data, plane.Shape()...)
-		if err != nil {
-			return err
-		}
-		copy(plane.Data(), back.Data())
-		return nil
-	}); err != nil {
+	if err := decompressPlanes(ctx, view, h, w, parts, b.planeDec(h, w)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeStream decodes an sz record incrementally, one plane-group at a
+// time. Per-plane geometry validation happens as each group's streams
+// arrive (the shape itself is CRC-protected by the v2 record header).
+func (b *szBackend) decodeStream(ctx context.Context, r *payloadReader, shape []int) (*tensor.Tensor, error) {
+	mode, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("sz: reading payload mode: %w", err)
+	}
+	h, w, _, err := b.planeGeometry(mode, shape)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(shape...)
+	view := out
+	if mode == szModeFlat {
+		view = out.Reshape(1, w)
+	}
+	if err := decodePlaneStream(ctx, r, view, h, w, nil, b.planeDec(h, w)); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -74,12 +75,12 @@ func (b *zfpBackend) flatPlaneN(values int) int {
 	return n
 }
 
-func (b *zfpBackend) encode(x *tensor.Tensor) ([]byte, error) {
+func (b *zfpBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
 	if x.Len() == 0 {
 		return nil, fmt.Errorf("zfp: empty tensor")
 	}
 	if h, w, ok := planarHW(x.Shape(), zfp.BlockSize); ok {
-		framed, err := compressPlanes(x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
+		framed, err := compressPlanes(ctx, x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
 			return b.codec.Compress(plane)
 		})
 		if err != nil {
@@ -90,71 +91,94 @@ func (b *zfpBackend) encode(x *tensor.Tensor) ([]byte, error) {
 	planeN := b.flatPlaneN(x.Len())
 	plane := planeN * planeN
 	nplanes := (x.Len() + plane - 1) / plane
+	// The zero-padded tail is compressed along with the data, so this
+	// scratch must be zeroed.
 	scratch := getScratch(nplanes * plane)
 	defer putScratch(scratch)
 	copy(scratch, x.Data())
 	packed := tensor.FromSlice(scratch, nplanes, planeN, planeN)
-	framed, err := compressPlanes(packed, planeN, planeN, func(p int, pl *tensor.Tensor) ([]byte, error) {
+	framed, err := compressPlanes(ctx, packed, planeN, planeN, func(p int, pl *tensor.Tensor) ([]byte, error) {
 		return b.codec.Compress(pl)
 	})
 	if err != nil {
 		return nil, err
 	}
-	head := []byte{zfpModeFlat, 0, 0, 0, 0}
+	// As in the dctc flat path, the exact element count rides in the
+	// header: the padded plane geometry alone cannot pin the claimed
+	// length, so decode cross-checks it against the shape.
+	head := []byte{zfpModeFlat, 0, 0, 0, 0, 0, 0, 0, 0}
 	binary.LittleEndian.PutUint32(head[1:], uint32(planeN))
+	binary.LittleEndian.PutUint32(head[5:], uint32(x.Len()))
 	return append(head, framed...), nil
 }
 
-func (b *zfpBackend) decode(payload []byte, shape []int) (*tensor.Tensor, error) {
+func (b *zfpBackend) decode(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
 	if len(payload) < 1 {
 		return nil, fmt.Errorf("zfp: empty payload")
 	}
 	mode, payload := payload[0], payload[1:]
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
 	switch mode {
 	case zfpModePlanar:
 		h, w, ok := planarHW(shape, zfp.BlockSize)
 		if !ok {
 			return nil, fmt.Errorf("zfp: planar payload but shape %v has no %d-aligned planes", shape, zfp.BlockSize)
 		}
-		elems := 1
-		for _, d := range shape {
-			elems *= d
-		}
 		parts, err := splitPlanePayloads(payload, elems/(h*w))
 		if err != nil {
 			return nil, err
 		}
+		// The fixed rate is a per-plane byte budget, not an exact size:
+		// encodeBlock stops early on all-zero bit-plane tails, so real
+		// payloads may come in under it (never over).
 		want := b.codec.CompressedBytes(1, h, w)
 		for p, part := range parts {
-			if len(part) != want {
-				return nil, fmt.Errorf("zfp: plane %d payload %d bytes, want %d at rate %g", p, len(part), want, b.codec.Rate)
+			if len(part) > want {
+				return nil, fmt.Errorf("zfp: plane %d payload %d bytes exceeds the %d-byte budget at rate %g", p, len(part), want, b.codec.Rate)
 			}
 		}
 		out := tensor.New(shape...)
-		if err := decompressPlanes(out, h, w, parts, b.decodePlane); err != nil {
+		if err := decompressPlanes(ctx, out, h, w, parts, b.decodePlane); err != nil {
 			return nil, err
 		}
 		return out, nil
 	case zfpModeFlat:
-		if len(payload) < 4 {
+		if len(payload) < 8 {
 			return nil, fmt.Errorf("zfp: flat payload truncated")
 		}
 		planeN := int(binary.LittleEndian.Uint32(payload))
-		payload = payload[4:]
+		encElems := binary.LittleEndian.Uint32(payload[4:])
+		payload = payload[8:]
 		if planeN < zfp.BlockSize || planeN > 1<<12 || planeN%zfp.BlockSize != 0 {
 			return nil, fmt.Errorf("zfp: implausible flat plane edge %d", planeN)
 		}
-		out := tensor.New(shape...)
+		if encElems != uint32(elems) {
+			return nil, fmt.Errorf("zfp: flat payload holds %d values, shape %v implies %d", encElems, shape, elems)
+		}
 		plane := planeN * planeN
-		nplanes := (out.Len() + plane - 1) / plane
+		nplanes := (elems + plane - 1) / plane
+		// Split and length-check every plane before allocating output
+		// or scratch, so implausible frames fail cheaply.
 		parts, err := splitPlanePayloads(payload, nplanes)
 		if err != nil {
 			return nil, err
 		}
-		scratch := getScratch(nplanes * plane)
+		want := b.codec.CompressedBytes(1, planeN, planeN)
+		for p, part := range parts {
+			if len(part) > want {
+				return nil, fmt.Errorf("zfp: plane %d payload %d bytes exceeds the %d-byte budget at rate %g", p, len(part), want, b.codec.Rate)
+			}
+		}
+		out := tensor.New(shape...)
+		// Every plane, padded tail included, is decoded into the
+		// scratch before the copy-out, so no zeroing is needed.
+		scratch := getScratchNoZero(nplanes * plane)
 		defer putScratch(scratch)
 		packed := tensor.FromSlice(scratch, nplanes, planeN, planeN)
-		if err := decompressPlanes(packed, planeN, planeN, parts, b.decodePlane); err != nil {
+		if err := decompressPlanes(ctx, packed, planeN, planeN, parts, b.decodePlane); err != nil {
 			return nil, err
 		}
 		copy(out.Data(), scratch[:out.Len()])
@@ -172,4 +196,48 @@ func (b *zfpBackend) decodePlane(p int, data []byte, plane *tensor.Tensor) error
 	}
 	copy(plane.Data(), back.Data())
 	return nil
+}
+
+// decodeStream decodes a planar zfp record incrementally, one
+// plane-group at a time; the fixed rate makes the exact payload size
+// checkable against the shape before the output tensor is allocated.
+// Flat records pack into small (≤256×256) scratch planes and fall back
+// to the buffered path.
+func (b *zfpBackend) decodeStream(ctx context.Context, r *payloadReader, shape []int) (*tensor.Tensor, error) {
+	mode, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("zfp: reading payload mode: %w", err)
+	}
+	if mode != zfpModePlanar {
+		buf := make([]byte, 1+r.len())
+		buf[0] = mode
+		if err := r.readFull(buf[1:]); err != nil {
+			return nil, fmt.Errorf("zfp: buffering non-planar payload: %w", err)
+		}
+		return b.decode(ctx, buf, shape)
+	}
+	h, w, ok := planarHW(shape, zfp.BlockSize)
+	if !ok {
+		return nil, fmt.Errorf("zfp: planar payload but shape %v has no %d-aligned planes", shape, zfp.BlockSize)
+	}
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	planes := elems / (h * w)
+	want := b.codec.CompressedBytes(1, h, w)
+	if maxTotal := 4 + planes*(4+want); r.len() > maxTotal {
+		return nil, fmt.Errorf("zfp: planar payload %d bytes exceeds %d-byte budget for %d planes", r.len(), maxTotal, planes)
+	}
+	out := tensor.New(shape...)
+	err = decodePlaneStream(ctx, r, out, h, w, func(p, ln int) error {
+		if ln > want {
+			return fmt.Errorf("zfp: plane %d payload %d bytes exceeds the %d-byte budget at rate %g", p, ln, want, b.codec.Rate)
+		}
+		return nil
+	}, b.decodePlane)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
