@@ -18,8 +18,12 @@ go build ./...
 GOOS=linux GOARCH=386 go build ./...
 go test -race ./internal/...
 
-# Host-kernel bench smoke: exercises the fast/dense measurement path end
-# to end and leaves a fresh BENCH_smoke.json to diff against BENCH_seed.json.
+# Host-kernel bench smoke: exercises the fast/dense measurement path,
+# the registry-codec round-trip benches, and the v2 stream-engine
+# throughput matrix (serial + pipelined writer) end to end, leaving a
+# fresh BENCH_smoke.json to diff against BENCH_seed.json. The short
+# benchtime means the printed numbers are noisy — regenerate with the
+# default benchtime before reading anything into them.
 go run ./cmd/acc-bench -hostbench -benchquick -benchname smoke -benchdir . -benchtime 20ms
 
 echo "check.sh: all green"

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/tensor"
+)
+
+// Registry-codec and stream-engine benchmark extension to -hostbench:
+// measures the baseline codecs' pooled round-trip path (the training
+// hot loop) against recorded seed numbers, and the ACCF v2 stream
+// writer's throughput across worker counts.
+
+type codecBenchEntry struct {
+	Spec            string  `json:"spec"`
+	Shape           []int   `json:"shape"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	MBPerS          float64 `json:"mb_per_s"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SeedNsPerOp     float64 `json:"seed_ns_per_op,omitempty"`
+	SeedAllocsPerOp int64   `json:"seed_allocs_per_op,omitempty"`
+	SpeedupVsSeed   float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type streamBenchEntry struct {
+	Spec        string  `json:"spec"`
+	Workers     int     `json:"workers"`
+	Records     int     `json:"records"`
+	Shape       []int   `json:"shape"`
+	RecordsPerS float64 `json:"records_per_s"`
+	MBPerS      float64 `json:"mb_per_s"`
+}
+
+// codecSeedBaselines pins the pre-rewrite numbers for the baseline
+// codecs' registry RoundTrip at [1,3,256,256] on this repository's
+// reference container (GOMAXPROCS=1), measured at commit fef2392
+// before the word-at-a-time bitstream port. The bench reports each
+// current run against these so the speedup rides in the JSON artifact.
+var codecSeedBaselines = map[string]struct {
+	ns     float64
+	allocs int64
+}{
+	"zfp:rate=8": {ns: 30314230, allocs: 110},
+	"jpegq:q=50": {ns: 38933777, allocs: 157028},
+	"sz:eb=1e-3": {ns: 18458537, allocs: 14370},
+}
+
+// codecBenchShape is the measurement point the seed baselines were
+// recorded at: one 3-channel 256×256 sample.
+var codecBenchShape = []int{1, 3, 256, 256}
+
+// measureCodecCase benchmarks one spec's pooled round-trip.
+func measureCodecCase(spec string) (codecBenchEntry, error) {
+	c, err := codec.New(spec)
+	if err != nil {
+		return codecBenchEntry{}, fmt.Errorf("codecbench %s: %w", spec, err)
+	}
+	r := tensor.NewRNG(1)
+	x := r.Uniform(0, 1, codecBenchShape...)
+	dst := tensor.New(codecBenchShape...)
+	// Warm the pools so steady state is what's measured.
+	if _, err := codec.RoundTripInto(c, dst, x); err != nil {
+		return codecBenchEntry{}, fmt.Errorf("codecbench %s: %w", spec, err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(x.SizeBytes()))
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.RoundTripInto(c, dst, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e := codecBenchEntry{
+		Spec:        spec,
+		Shape:       codecBenchShape,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if seed, ok := codecSeedBaselines[spec]; ok && e.NsPerOp > 0 {
+		e.SeedNsPerOp = seed.ns
+		e.SeedAllocsPerOp = seed.allocs
+		e.SpeedupVsSeed = seed.ns / e.NsPerOp
+	}
+	return e, nil
+}
+
+// measureStreamCase benchmarks the v2 stream writer at one worker
+// count: records of shape streamed to a discarding sink, reporting
+// records/s and uncompressed MB/s.
+func measureStreamCase(spec string, workers, records int, shape []int) (streamBenchEntry, error) {
+	c, err := codec.New(spec)
+	if err != nil {
+		return streamBenchEntry{}, fmt.Errorf("streambench %s: %w", spec, err)
+	}
+	r := tensor.NewRNG(2)
+	x := r.Uniform(0, 1, shape...)
+	ctx := context.Background()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(records * x.SizeBytes()))
+		for i := 0; i < b.N; i++ {
+			sw := codec.NewStreamWriter(io.Discard)
+			if workers != 1 {
+				if err := sw.SetConcurrency(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for rec := 0; rec < records; rec++ {
+				if err := sw.WriteTensor(ctx, c, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sw.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	secPerOp := res.T.Seconds() / float64(res.N)
+	return streamBenchEntry{
+		Spec:        spec,
+		Workers:     workers,
+		Records:     records,
+		Shape:       shape,
+		RecordsPerS: float64(records) / secPerOp,
+		MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+	}, nil
+}
+
+// runCodecBench measures the registry codecs and the stream engine,
+// appending to the hostbench output file.
+func runCodecBench(out *hostBenchFile, full bool, gomaxprocs int) error {
+	for _, spec := range []string{"zfp:rate=8", "jpegq:q=50", "sz:eb=1e-3"} {
+		e, err := measureCodecCase(spec)
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if e.SpeedupVsSeed > 0 {
+			extra = fmt.Sprintf("  %5.1fx vs seed", e.SpeedupVsSeed)
+		}
+		fmt.Printf("%-44s %12.0f ns/op %10.1f MB/s %6d allocs/op%s\n",
+			"codec/roundtrip/"+e.Spec, e.NsPerOp, e.MBPerS, e.AllocsPerOp, extra)
+		out.Codecs = append(out.Codecs, e)
+	}
+
+	// Stream matrix: 1 worker (serial), 4, and the machine width. On a
+	// single-core host these coincide in effect; the matrix still
+	// records what the engine does at each setting.
+	records, shape := 16, []int{4, 3, 64, 64}
+	if !full {
+		records = 4
+	}
+	seen := map[int]bool{}
+	for _, w := range []int{1, 4, gomaxprocs} {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		e, err := measureStreamCase("zfp:rate=8", w, records, shape)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-44s %12.1f rec/s  %10.1f MB/s\n",
+			fmt.Sprintf("stream/compress/%s/workers=%d", e.Spec, e.Workers), e.RecordsPerS, e.MBPerS)
+		out.Stream = append(out.Stream, e)
+	}
+	return nil
+}

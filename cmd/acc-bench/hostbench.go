@@ -33,12 +33,14 @@ type hostBenchEntry struct {
 }
 
 type hostBenchFile struct {
-	Name                string           `json:"name"`
-	GOOS                string           `json:"goos"`
-	GOARCH              string           `json:"goarch"`
-	GOMAXPROCS          int              `json:"gomaxprocs"`
-	RoundTrip512Speedup float64          `json:"roundtrip512_speedup_vs_dense,omitempty"`
-	Benchmarks          []hostBenchEntry `json:"benchmarks"`
+	Name                string             `json:"name"`
+	GOOS                string             `json:"goos"`
+	GOARCH              string             `json:"goarch"`
+	GOMAXPROCS          int                `json:"gomaxprocs"`
+	RoundTrip512Speedup float64            `json:"roundtrip512_speedup_vs_dense,omitempty"`
+	Benchmarks          []hostBenchEntry   `json:"benchmarks"`
+	Codecs              []codecBenchEntry  `json:"codecs,omitempty"`
+	Stream              []streamBenchEntry `json:"stream,omitempty"`
 }
 
 type hostBenchCase struct {
@@ -202,6 +204,9 @@ func runHostBench(name, dir, benchtime string, full bool) error {
 		fmt.Printf("%-44s %12.0f ns/op %10.1f MB/s %6d allocs/op\n", e.Name, e.NsPerOp, e.MBPerS, e.AllocsPerOp)
 		out.Benchmarks = append(out.Benchmarks, e)
 		byName[e.Name] = e
+	}
+	if err := runCodecBench(&out, full, out.GOMAXPROCS); err != nil {
+		return err
 	}
 	fastKey := hostBenchCase{cfg: core.Config{ChopFactor: 4, Serialization: 1}, n: 512, op: "roundtrip"}.label()
 	denseKey := hostBenchCase{cfg: core.Config{ChopFactor: 4, Serialization: 1}, n: 512, op: "roundtrip", dense: true}.label()

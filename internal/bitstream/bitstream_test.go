@@ -126,3 +126,113 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBytesSealsWriter(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xAB, 8)
+	b1 := w.Bytes()
+	b2 := w.Bytes()
+	if &b1[0] != &b2[0] || len(b1) != len(b2) {
+		t.Fatal("repeated Bytes must return the same sealed buffer")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBits after Bytes must panic")
+		}
+	}()
+	w.WriteBits(1, 1)
+}
+
+func TestResetReusesBuffer(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xDEADBEEF, 32)
+	first := w.Bytes()
+	if len(first) != 4 {
+		t.Fatalf("len = %d", len(first))
+	}
+	w.Reset()
+	if w.Bits() != 0 {
+		t.Fatal("Reset must clear bit count")
+	}
+	w.WriteBits(0x12, 8)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0x12 {
+		t.Fatalf("after Reset got % x", got)
+	}
+}
+
+func TestWriterPool(t *testing.T) {
+	w := GetWriter()
+	w.WriteBits(0xFFFF, 16)
+	if len(w.Bytes()) != 2 {
+		t.Fatal("pooled writer broken")
+	}
+	PutWriter(w)
+	w2 := GetWriter()
+	if w2.Bits() != 0 {
+		t.Fatal("pooled writer not reset")
+	}
+	PutWriter(w2)
+}
+
+func TestPeekConsumeOverread(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011, 4)
+	r := NewReader(w.Bytes()) // one padded byte: 1011_0000
+	if v := r.Peek(4); v != 0b1011 {
+		t.Fatalf("Peek(4) = %#b", v)
+	}
+	// Peeking past the end zero-pads.
+	if v := r.Peek(12); v != 0b1011_0000_0000 {
+		t.Fatalf("Peek(12) = %#b", v)
+	}
+	r.Consume(8)
+	if r.Overread() {
+		t.Fatal("consuming the padded byte is not an overread")
+	}
+	r.Consume(1)
+	if !r.Overread() {
+		t.Fatal("consuming past the end must set Overread")
+	}
+	if !r.Overread() {
+		t.Fatal("Overread must be sticky")
+	}
+}
+
+func TestWideReadFailureConsumesNothing(t *testing.T) {
+	// 60 bits available, 64 requested: the split path must pre-check
+	// and leave the reader untouched on failure.
+	w := NewWriter()
+	w.WriteBits(^uint64(0), 56)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	rem := r.Remaining()
+	if _, err := r.ReadBits(64); err != ErrOutOfBits {
+		t.Fatalf("err = %v", err)
+	}
+	if r.Remaining() != rem {
+		t.Fatalf("failed wide read consumed bits: %d -> %d", rem, r.Remaining())
+	}
+	// The remaining 53 bits must still read back intact.
+	v, err := r.ReadBits(53)
+	if err != nil || v != (1<<53)-1 {
+		t.Fatalf("tail read %#x (%v)", v, err)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xAA})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset([]byte{0x55, 0x55})
+	if r.Remaining() != 16 || r.Overread() {
+		t.Fatal("Reset must clear state")
+	}
+	v, err := r.ReadBits(16)
+	if err != nil || v != 0x5555 {
+		t.Fatalf("after Reset read %#x (%v)", v, err)
+	}
+}

@@ -82,6 +82,48 @@ type fastRoundTripper interface {
 	fastRoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error)
 }
 
+// fastRoundTripperInto is implemented by backends that can round-trip
+// into a caller-provided tensor with pooled scratch only — the
+// steady-state form of fastRoundTripper (zero allocations per call on
+// a single-worker pipeline).
+type fastRoundTripperInto interface {
+	fastRoundTripInto(dst, x *tensor.Tensor) (int, error)
+}
+
+// slowRoundTripInto is the fallback for backends (or shapes) without a
+// pooled in-place path: serialize, decode, copy.
+func slowRoundTripInto(b backend, dst, x *tensor.Tensor) (int, error) {
+	ctx := context.Background()
+	payload, err := b.encode(ctx, x)
+	if err != nil {
+		return 0, err
+	}
+	out, err := b.decode(ctx, payload, x.Shape())
+	if err != nil {
+		return 0, err
+	}
+	copy(dst.Data(), out.Data())
+	return len(payload), nil
+}
+
+// RoundTripInto compresses and decompresses x into dst, which must
+// have x's element count, returning the compressed payload size. For
+// codecs with a pooled in-place path (zfp, jpegq) the steady state
+// allocates nothing; others fall back to serialize-decode-copy.
+func RoundTripInto(c Codec, dst, x *tensor.Tensor) (int, error) {
+	if dst.Len() != x.Len() {
+		return 0, fmt.Errorf("codec: RoundTripInto dst holds %d values, x holds %d", dst.Len(), x.Len())
+	}
+	impl, ok := c.(*codecImpl)
+	if !ok {
+		return 0, fmt.Errorf("codec: %T is not a registry codec", c)
+	}
+	if fast, ok := impl.b.(fastRoundTripperInto); ok {
+		return fast.fastRoundTripInto(dst, x)
+	}
+	return slowRoundTripInto(impl.b, dst, x)
+}
+
 // codecImpl frames a backend behind the Codec interface.
 type codecImpl struct {
 	spec string

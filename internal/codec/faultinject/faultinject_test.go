@@ -111,12 +111,21 @@ func requireRegions(t *testing.T, regions []faultinject.Region, want ...string) 
 }
 
 // buildStream assembles a three-record v2 stream spanning three codec
-// families (and both plane framings).
-func buildStream(t *testing.T) []byte {
+// families (and both plane framings). With parallel set, the records
+// run through the pipelined writer instead of the serial path.
+func buildStream(t *testing.T, parallel bool) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	sw := codec.NewStreamWriter(&buf)
 	sw.SetChunkSize(4 << 10)
+	if parallel {
+		if err := sw.SetConcurrency(4); err != nil {
+			t.Fatalf("SetConcurrency: %v", err)
+		}
+		if err := sw.SetMaxInFlightBytes(4 << 10); err != nil {
+			t.Fatalf("SetMaxInFlightBytes: %v", err)
+		}
+	}
 	for _, rec := range []struct {
 		spec  string
 		shape []int
@@ -173,7 +182,7 @@ func readStream(t *testing.T, desc string, data []byte) (err error) {
 // mutant must fail, and failures inside the record sequence must report
 // a stream byte offset.
 func TestV2FaultInjection(t *testing.T) {
-	data := buildStream(t)
+	data := buildStream(t, false)
 	if err := readStream(t, "pristine", data); err != nil {
 		t.Fatalf("pristine stream does not decode: %v", err)
 	}
@@ -204,4 +213,56 @@ func TestV2FaultInjection(t *testing.T) {
 		t.Fatal("no mutants generated")
 	}
 	t.Logf("verified %d mutants across %d regions", mutants, len(regions))
+}
+
+// TestV2ParallelWriterFraming cross-checks the pipelined stream writer
+// against this package's independent reading of the wire format: the
+// parallel writer's output must be byte-identical to the serial
+// writer's, scan to exactly the same structural regions, and decode
+// cleanly through the read-ahead reader.
+func TestV2ParallelWriterFraming(t *testing.T) {
+	serial := buildStream(t, false)
+	parallel := buildStream(t, true)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel writer output (%d bytes) differs from serial output (%d bytes)", len(parallel), len(serial))
+	}
+	sregs, err := faultinject.V2Regions(serial)
+	if err != nil {
+		t.Fatalf("V2Regions(serial): %v", err)
+	}
+	pregs, err := faultinject.V2Regions(parallel)
+	if err != nil {
+		t.Fatalf("V2Regions(parallel): %v", err)
+	}
+	if len(sregs) != len(pregs) {
+		t.Fatalf("serial stream scans to %d regions, parallel to %d", len(sregs), len(pregs))
+	}
+	for i := range sregs {
+		if sregs[i] != pregs[i] {
+			t.Errorf("region %d: serial %+v, parallel %+v", i, sregs[i], pregs[i])
+		}
+	}
+	sr, err := codec.NewStreamReader(bytes.NewReader(parallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.SetReadAhead(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	for {
+		if _, err := sr.Next(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		if _, err := sr.Decode(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	if records != 3 {
+		t.Fatalf("read-ahead reader decoded %d records, want 3", records)
+	}
 }

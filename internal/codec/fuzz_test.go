@@ -155,6 +155,46 @@ func FuzzStreamDecode(f *testing.F) {
 	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 2, 0, 0, 0, 'E'})
 	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 2, 0, 0, 0, 'T', 0xFF, 0xFF})
 
+	// Pipelined-writer seeds: the same records through the concurrent
+	// engine (byte-identical by contract, but seeded independently so a
+	// framing regression in either path surfaces here), plus a jpegq
+	// record and the minimum chunk size to vary the chunk framing.
+	var pbuf bytes.Buffer
+	pw := NewStreamWriter(&pbuf)
+	pw.SetChunkSize(1) // clamps to the 4 KiB floor
+	if err := pw.SetConcurrency(4); err != nil {
+		f.Fatal(err)
+	}
+	if err := pw.SetMaxInFlightBytes(8 << 10); err != nil {
+		f.Fatal(err)
+	}
+	img := tensor.New(1, 1, 8, 8)
+	for i := range img.Data() {
+		img.Data()[i] = float32(i%17) / 17
+	}
+	for _, spec := range []string{"zfp:rate=8", "jpegq:q=50", "sz:eb=1e-2", "dctc:cf=4"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		in := img
+		if spec != "jpegq:q=50" {
+			in = x
+		}
+		if err := pw.WriteTensor(context.Background(), c, in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	par := pbuf.Bytes()
+	f.Add(par)
+	f.Add(par[:len(par)-1]) // end marker shaved off: truncation
+	pflip := append([]byte(nil), par...)
+	pflip[2*len(pflip)/3] ^= 0x04
+	f.Add(pflip)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sr, err := NewStreamReader(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,150 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// goldenContainerTensor regenerates the fixed input the golden
+// containers were recorded from (same generator as the capture tool).
+func goldenContainerTensor(shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	d := x.Data()
+	for i := range d {
+		d[i] = float32((i*2654435761)%1000) / 999
+	}
+	return x
+}
+
+// TestGoldenContainers holds the ported backends (pooled bit-level
+// plane engines, flat entropy paths) to byte-identical v1 container
+// output against streams recorded from the pre-port implementations,
+// and requires every recorded container to still decode.
+func TestGoldenContainers(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_v1_containers.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []struct {
+		Name  string `json:"name"`
+		Shape []int  `json:"shape"`
+		Hex   string `json:"hex"`
+	}
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("empty golden corpus")
+	}
+	for _, tc := range cases {
+		t.Run(tc.Name, func(t *testing.T) {
+			c, err := New(tc.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := goldenContainerTensor(tc.Shape...)
+			data, err := c.Compress(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := hex.DecodeString(tc.Hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("container bytes diverge from recorded stream (len %d vs %d)", len(data), len(want))
+			}
+			back, _, err := DecodeBytes(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.SameShape(x) {
+				t.Fatalf("decoded shape %v, want %v", back.Shape(), tc.Shape)
+			}
+		})
+	}
+}
+
+// TestRoundTripIntoMatchesSerializePath pins the pooled in-place round
+// trip to the serialize path for every conformance spec: identical
+// reconstruction (bit-exact for the fast-path codecs) and identical
+// reported payload size.
+func TestRoundTripIntoMatchesSerializePath(t *testing.T) {
+	x := conformanceBatch()
+	for _, tc := range conformanceSpecs {
+		tc := tc
+		t.Run(tc.spec, func(t *testing.T) {
+			c, err := New(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			impl := c.(*codecImpl)
+			payload, err := impl.b.encode(context.Background(), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := impl.b.decode(context.Background(), payload, x.Shape())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := tensor.New(x.Shape()...)
+			n, err := RoundTripInto(c, dst, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(payload) {
+				t.Errorf("RoundTripInto size %d, serialize path payload %d", n, len(payload))
+			}
+			switch c.Name() {
+			case "zfp", "jpegq", "sz":
+				// These decode deterministically: the in-place path must
+				// agree bit for bit.
+				for i, v := range ref.Data() {
+					if dst.Data()[i] != v {
+						t.Fatalf("position %d: RoundTripInto %g, serialize path %g", i, dst.Data()[i], v)
+					}
+				}
+			default:
+				if !dst.AllClose(ref, 1e-5) {
+					t.Errorf("RoundTripInto diverges from serialize path (max diff %g)", dst.MaxAbsDiff(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripIntoAllocs proves the zfp and jpegq registry round
+// trips allocate nothing at steady state on a single-worker pipeline
+// (the multi-worker pipeline spends a few allocations on the fan-out).
+func TestRoundTripIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold without -race")
+	}
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	x := conformanceBatch()
+	dst := tensor.New(x.Shape()...)
+	for _, spec := range []string{"zfp:rate=8", "jpegq:q=50"} {
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RoundTripInto(c, dst, x); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := RoundTripInto(c, dst, x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: RoundTripInto allocates %v/op, want 0", spec, allocs)
+		}
+	}
+}

@@ -95,6 +95,47 @@ func (b *jpegqBackend) planeDec(ch int) func(p int, data []byte, plane *tensor.T
 	}
 }
 
+// fastRoundTripInto round-trips every plane through the codec's pooled
+// quantize→entropy→reconstruct path; the compressed bytes never leave
+// the entropy coder's pooled buffers. The reported size matches the
+// serialize path's payload: the plane frame plus each plane's stream.
+func (b *jpegqBackend) fastRoundTripInto(dst, x *tensor.Tensor) (int, error) {
+	// Dim/Dims instead of Shape(): Shape clones its slice, and this
+	// path must stay allocation-free. Shape() is only reached on the
+	// error path, where the clone is harmless.
+	if x.Dims() != 4 {
+		_, _, _, err := b.checkShape(x.Shape())
+		return 0, err
+	}
+	h, w := x.Dim(2), x.Dim(3)
+	if h%jpegq.BlockSize != 0 || w%jpegq.BlockSize != 0 {
+		_, _, _, err := b.checkShape(x.Shape())
+		return 0, err
+	}
+	ch := x.Dim(1)
+	planes := x.Dim(0) * ch
+	total := 4 + 4*planes // plane-frame header
+	xd, dd := x.Data(), dst.Data()
+	for p := 0; p < planes; p++ {
+		n, err := b.codec.RoundTripPlane(dd[p*h*w:(p+1)*h*w], xd[p*h*w:(p+1)*h*w], h, w, p%ch)
+		if err != nil {
+			return 0, fmt.Errorf("jpegq: plane %d: %w", p, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// fastRoundTrip keeps Codec.RoundTrip off the container path.
+func (b *jpegqBackend) fastRoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	out := tensor.New(x.Shape()...)
+	n, err := b.fastRoundTripInto(out, x)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, n, nil
+}
+
 // decodeStream decodes a jpegq record incrementally, one plane-group at
 // a time (jpegq payloads have no mode byte — the plane framing starts
 // immediately).

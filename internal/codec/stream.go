@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -63,14 +64,23 @@ const (
 const planeGroupBytes = 1 << 20
 
 // StreamWriter frames a sequence of tensors as ACCF v2 records on w.
-// It buffers one record's encoded payload at a time (peak memory is
-// bounded by the largest single tensor's payload), never the stream.
+// By default records are encoded serially as WriteTensor is called,
+// buffering one record's payload at a time (peak memory is bounded by
+// the largest single tensor's payload), never the stream.
+// SetConcurrency enables the pipelined engine: records encode on a
+// worker pool and are emitted strictly in WriteTensor order, producing
+// a byte-identical stream (see stream_parallel.go).
 type StreamWriter struct {
 	w       io.Writer
 	chunk   int
 	started bool
 	closed  bool
-	records int
+	// locked flips on the first WriteTensor and freezes configuration.
+	// It is owned by the caller's goroutine — unlike started, which the
+	// pipelined engine's emitter goroutine writes.
+	locked  bool
+	records atomic.Int64
+	eng     *swEngine
 }
 
 // NewStreamWriter returns a StreamWriter targeting w. The stream header
@@ -82,8 +92,13 @@ func NewStreamWriter(w io.Writer) *StreamWriter {
 // SetChunkSize overrides the payload chunk size, clamped to
 // [4 KiB, 64 MiB]. Smaller chunks localize corruption and lower the
 // reader's transient buffer; larger chunks shave framing overhead.
-// Must be called before the first WriteTensor.
+// Must be called before the first WriteTensor (later calls are
+// ignored: with the pipelined engine the emitter goroutine owns the
+// chunk size once records are in flight).
 func (sw *StreamWriter) SetChunkSize(n int) {
+	if sw.locked {
+		return
+	}
 	if n < minStreamChunk {
 		n = minStreamChunk
 	}
@@ -93,8 +108,10 @@ func (sw *StreamWriter) SetChunkSize(n int) {
 	sw.chunk = n
 }
 
-// Records reports how many tensor records have been written.
-func (sw *StreamWriter) Records() int { return sw.records }
+// Records reports how many tensor records have been written. With the
+// pipelined engine enabled this counts emitted records, which may trail
+// WriteTensor calls until Close.
+func (sw *StreamWriter) Records() int { return int(sw.records.Load()) }
 
 func (sw *StreamWriter) writeStreamHeader() error {
 	var hdr [8]byte
@@ -115,6 +132,7 @@ func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tens
 	if sw.closed {
 		return fmt.Errorf("codec: stream writer is closed")
 	}
+	sw.locked = true
 	impl, ok := c.(*codecImpl)
 	if !ok {
 		return fmt.Errorf("codec: %T is not a registry codec", c)
@@ -123,10 +141,22 @@ func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tens
 	if err := validateFrame(impl.spec, shape, 0); err != nil {
 		return err
 	}
+	if sw.eng != nil {
+		return sw.eng.submit(ctx, impl, shape, x)
+	}
 	payload, err := impl.b.encode(ctx, x)
 	if err != nil {
 		return err
 	}
+	return sw.emitRecord(impl.spec, shape, payload)
+}
+
+// emitRecord frames one encoded payload as a tensor record: the lazily
+// written stream header, the CRC-protected record header, then the
+// chunked payload. Both the serial path and the pipelined engine's
+// ordered emitter call this, so their byte output is identical by
+// construction.
+func (sw *StreamWriter) emitRecord(spec string, shape []int, payload []byte) error {
 	if len(payload) > maxPayload {
 		return fmt.Errorf("codec: payload %d bytes exceeds limit %d", len(payload), maxPayload)
 	}
@@ -136,10 +166,10 @@ func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tens
 		}
 	}
 	// Record header: marker..payload-length, then its CRC.
-	hdr := make([]byte, 0, 12+len(impl.spec)+4*len(shape))
+	hdr := make([]byte, 0, 12+len(spec)+4*len(shape))
 	hdr = append(hdr, recTensor)
-	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(impl.spec)))
-	hdr = append(hdr, impl.spec...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(spec)))
+	hdr = append(hdr, spec...)
 	hdr = append(hdr, byte(len(shape)))
 	for _, d := range shape {
 		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(d))
@@ -166,15 +196,24 @@ func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tens
 		}
 		off += n
 	}
-	sw.records++
+	sw.records.Add(1)
 	return nil
 }
 
-// Close terminates the stream with the end-of-stream marker. It does
+// Close terminates the stream with the end-of-stream marker. With the
+// pipelined engine enabled it first waits for every in-flight record to
+// encode and emit; an engine failure is returned here (and the end
+// marker withheld, so the truncation is visible to readers). It does
 // not close the underlying writer.
 func (sw *StreamWriter) Close() error {
 	if sw.closed {
 		return nil
+	}
+	if sw.eng != nil {
+		if err := sw.eng.drain(); err != nil {
+			sw.closed = true
+			return err
+		}
 	}
 	if !sw.started {
 		if err := sw.writeStreamHeader(); err != nil {
@@ -205,6 +244,10 @@ type StreamReader struct {
 	// typically repeat one spec, and some backends (dctc) compile
 	// per-resolution state that must not be rebuilt per record.
 	codecs map[string]Codec
+	// ra, when non-nil, is the background read-ahead state: the
+	// prefetch goroutine owns every field above and the public methods
+	// serve from ra's queue instead (see stream_parallel.go).
+	ra *readAhead
 }
 
 // NewStreamReader validates the stream header and returns a reader
@@ -250,17 +293,17 @@ func (sr *StreamReader) posw(context string, err error) error {
 	return wrapped
 }
 
-// Next advances to the next record and returns its header. It returns
-// io.EOF (exactly, not wrapped) after a well-formed end-of-stream
-// marker; a stream that simply stops without the marker is a truncation
-// error. An unconsumed previous payload is skipped (CRC-verified)
-// first.
-func (sr *StreamReader) Next() (Header, error) {
+// nextRecord advances to the next record and returns its header. It
+// returns io.EOF (exactly, not wrapped) after a well-formed
+// end-of-stream marker; a stream that simply stops without the marker
+// is a truncation error. An unconsumed previous payload is skipped
+// (CRC-verified) first.
+func (sr *StreamReader) nextRecord() (Header, error) {
 	if sr.err != nil {
 		return Header{}, sr.err
 	}
 	if sr.cur != nil {
-		if err := sr.Skip(); err != nil {
+		if err := sr.skipRecord(); err != nil {
 			return Header{}, err
 		}
 	}
@@ -342,10 +385,10 @@ func (sr *StreamReader) Next() (Header, error) {
 	return hdr, nil
 }
 
-// Decode decompresses the pending record into a tensor, streaming the
-// payload through at most one plane-group of scratch at a time. The
+// decodeRecord decompresses the pending record into a tensor, streaming
+// the payload through at most one plane-group of scratch at a time. The
 // codec is resolved from the record's (CRC-verified) spec.
-func (sr *StreamReader) Decode(ctx context.Context) (*tensor.Tensor, error) {
+func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error) {
 	if sr.err != nil {
 		return nil, sr.err
 	}
@@ -384,9 +427,9 @@ func (sr *StreamReader) Decode(ctx context.Context) (*tensor.Tensor, error) {
 	return out, nil
 }
 
-// Skip drains the pending record's payload, still verifying every chunk
-// CRC, without decoding it.
-func (sr *StreamReader) Skip() error {
+// skipRecord drains the pending record's payload, still verifying every
+// chunk CRC, without decoding it.
+func (sr *StreamReader) skipRecord() error {
 	if sr.err != nil {
 		return sr.err
 	}

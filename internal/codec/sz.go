@@ -92,12 +92,8 @@ func (b *szBackend) planeDec(h, w int) func(p int, data []byte, plane *tensor.Te
 		if planes != 1 || sh != h || sw != w {
 			return fmt.Errorf("sz: stream is %d×%dx%d, want 1×%dx%d", planes, sh, sw, h, w)
 		}
-		back, err := b.codec.Decompress(data, plane.Shape()...)
-		if err != nil {
-			return err
-		}
-		copy(plane.Data(), back.Data())
-		return nil
+		// Decode straight into the output plane — no staging tensor.
+		return b.codec.DecompressInto(plane.Data(), data, h, w)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bitstream"
 	"repro/internal/tensor"
 	"repro/internal/zfp"
 )
@@ -80,9 +81,7 @@ func (b *zfpBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, erro
 		return nil, fmt.Errorf("zfp: empty tensor")
 	}
 	if h, w, ok := planarHW(x.Shape(), zfp.BlockSize); ok {
-		framed, err := compressPlanes(ctx, x, h, w, func(p int, plane *tensor.Tensor) ([]byte, error) {
-			return b.codec.Compress(plane)
-		})
+		framed, err := compressPlanes(ctx, x, h, w, b.encodePlane)
 		if err != nil {
 			return nil, err
 		}
@@ -97,9 +96,7 @@ func (b *zfpBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, erro
 	defer putScratch(scratch)
 	copy(scratch, x.Data())
 	packed := tensor.FromSlice(scratch, nplanes, planeN, planeN)
-	framed, err := compressPlanes(ctx, packed, planeN, planeN, func(p int, pl *tensor.Tensor) ([]byte, error) {
-		return b.codec.Compress(pl)
-	})
+	framed, err := compressPlanes(ctx, packed, planeN, planeN, b.encodePlane)
 	if err != nil {
 		return nil, err
 	}
@@ -188,14 +185,64 @@ func (b *zfpBackend) decode(ctx context.Context, payload []byte, shape []int) (*
 	}
 }
 
-// decodePlane decompresses one plane's stream into the caller's plane.
+// encodePlane compresses one plane on a pooled bit writer; the only
+// per-plane allocation is the payload hand-off copy itself.
+func (b *zfpBackend) encodePlane(p int, plane *tensor.Tensor) ([]byte, error) {
+	bw := bitstream.GetWriter()
+	defer bitstream.PutWriter(bw)
+	b.codec.EncodePlane(bw, plane.Data(), plane.Dim(0), plane.Dim(1))
+	return append([]byte(nil), bw.Bytes()...), nil
+}
+
+// decodePlane decompresses one plane's stream straight into the
+// caller's plane — a stack reader, no staging tensor, no copy.
 func (b *zfpBackend) decodePlane(p int, data []byte, plane *tensor.Tensor) error {
-	back, err := b.codec.Decompress(data, plane.Shape()...)
-	if err != nil {
-		return err
+	var br bitstream.Reader
+	br.Reset(data)
+	return b.codec.DecodePlane(&br, plane.Data(), plane.Dim(0), plane.Dim(1))
+}
+
+// fastRoundTripInto round-trips planar batches through the pooled
+// plane engine without materializing the payload: each plane's bits
+// are written, sealed and decoded in place from the writer's own
+// buffer. Non-planar shapes fall back to the serialize path.
+func (b *zfpBackend) fastRoundTripInto(dst, x *tensor.Tensor) (int, error) {
+	// Dim/Dims instead of Shape(): Shape clones its slice, and this
+	// path must stay allocation-free.
+	if x.Dims() < 2 || x.Len() == 0 {
+		return slowRoundTripInto(b, dst, x)
 	}
-	copy(plane.Data(), back.Data())
-	return nil
+	h, w := x.Dim(-2), x.Dim(-1)
+	if h%zfp.BlockSize != 0 || w%zfp.BlockSize != 0 {
+		return slowRoundTripInto(b, dst, x)
+	}
+	planes := x.Len() / (h * w)
+	total := 1 + 4 + 4*planes // mode byte + plane-frame header
+	bw := bitstream.GetWriter()
+	defer bitstream.PutWriter(bw)
+	var br bitstream.Reader
+	xd, dd := x.Data(), dst.Data()
+	for p := 0; p < planes; p++ {
+		bw.Reset()
+		b.codec.EncodePlane(bw, xd[p*h*w:(p+1)*h*w], h, w)
+		data := bw.Bytes()
+		total += len(data)
+		br.Reset(data)
+		if err := b.codec.DecodePlane(&br, dd[p*h*w:(p+1)*h*w], h, w); err != nil {
+			return 0, fmt.Errorf("zfp: plane %d: %w", p, err)
+		}
+	}
+	return total, nil
+}
+
+// fastRoundTrip keeps Codec.RoundTrip off the container path.
+func (b *zfpBackend) fastRoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	out := tensor.New(x.Shape()...)
+	n, err := b.fastRoundTripInto(out, x)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, n, nil
 }
 
 // decodeStream decodes a planar zfp record incrementally, one

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/dct"
 	"repro/internal/tensor"
 	"repro/internal/vle"
 )
@@ -48,14 +47,17 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var blocks [][]int
+	blocksPerPlane := (h / BlockSize) * (w / BlockSize)
+	coeffs, coeffsBox := getCoeffs(bd * ch * blocksPerPlane * 64)
+	defer putCoeffs(coeffsBox)
 	for s := 0; s < bd; s++ {
 		for cc := 0; cc < ch; cc++ {
 			plane := x.Data()[(s*ch+cc)*h*w : (s*ch+cc+1)*h*w]
-			blocks = appendPlaneBlocks(blocks, plane, h, w, tables[cc])
+			lo := (s*ch + cc) * blocksPerPlane * 64
+			quantizePlane(coeffs[lo:lo+blocksPerPlane*64], plane, h, w, &tables[cc])
 		}
 	}
-	body, err := vle.Encode(blocks)
+	body, err := vle.AppendFlat(nil, coeffs, 64)
 	if err != nil {
 		return nil, err
 	}
@@ -92,75 +94,21 @@ func Decompress(data []byte) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	blocks, err := vle.Decode(data[24:])
-	if err != nil {
-		return nil, err
-	}
 	blocksPerPlane := (h / BlockSize) * (w / BlockSize)
-	if len(blocks) != bd*ch*blocksPerPlane {
-		return nil, fmt.Errorf("jpegq: %d blocks, want %d", len(blocks), bd*ch*blocksPerPlane)
+	coeffs, coeffsBox := getCoeffs(bd * ch * blocksPerPlane * 64)
+	defer putCoeffs(coeffsBox)
+	if err := vle.DecodeFlatInto(coeffs, data[24:], 64); err != nil {
+		return nil, err
 	}
 	out := tensor.New(bd, ch, h, w)
 	for s := 0; s < bd; s++ {
 		for cc := 0; cc < ch; cc++ {
 			plane := out.Data()[(s*ch+cc)*h*w : (s*ch+cc+1)*h*w]
-			lo := (s*ch + cc) * blocksPerPlane
-			if err := decodePlaneBlocks(plane, h, w, blocks[lo:lo+blocksPerPlane], tables[cc]); err != nil {
-				return nil, err
-			}
+			lo := (s*ch + cc) * blocksPerPlane * 64
+			dequantizePlane(plane, coeffs[lo:lo+blocksPerPlane*64], h, w, &tables[cc])
 		}
 	}
 	return out, nil
-}
-
-// appendPlaneBlocks runs the lossy half of the pipeline — level shift,
-// 8×8 DCT, quantization, zigzag — over one h×w plane (values in [0,1])
-// and appends the zigzagged blocks.
-func appendPlaneBlocks(blocks [][]int, plane []float32, h, w int, table [64]int) [][]int {
-	order := dct.ZigZag(BlockSize)
-	block := tensor.New(BlockSize, BlockSize)
-	for bi := 0; bi < h; bi += BlockSize {
-		for bj := 0; bj < w; bj += BlockSize {
-			for i := 0; i < BlockSize; i++ {
-				for j := 0; j < BlockSize; j++ {
-					block.Set2(plane[(bi+i)*w+bj+j]*255-128, i, j)
-				}
-			}
-			q := QuantizeBlock(dct.Apply2D(block), table)
-			zz := make([]int, len(order))
-			for k, ix := range order {
-				zz[k] = q[ix]
-			}
-			blocks = append(blocks, zz)
-		}
-	}
-	return blocks
-}
-
-// decodePlaneBlocks inverts appendPlaneBlocks for one plane.
-func decodePlaneBlocks(plane []float32, h, w int, blocks [][]int, table [64]int) error {
-	order := dct.ZigZag(BlockSize)
-	ix := 0
-	for bi := 0; bi < h; bi += BlockSize {
-		for bj := 0; bj < w; bj += BlockSize {
-			zz := blocks[ix]
-			ix++
-			if len(zz) != BlockSize*BlockSize {
-				return fmt.Errorf("jpegq: block size %d", len(zz))
-			}
-			var q [64]int
-			for k, oix := range order {
-				q[oix] = zz[k]
-			}
-			rec := dct.Invert2D(DequantizeBlock(q, table))
-			for i := 0; i < BlockSize; i++ {
-				for j := 0; j < BlockSize; j++ {
-					plane[(bi+i)*w+bj+j] = (rec.At2(i, j) + 128) / 255
-				}
-			}
-		}
-	}
-	return nil
 }
 
 // TableFor returns the quality-scaled quantization table for a channel
@@ -189,7 +137,10 @@ func (c *Codec) EncodePlane(plane *tensor.Tensor, channel int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return vle.Encode(appendPlaneBlocks(nil, plane.Data(), h, w, table))
+	coeffs, coeffsBox := getCoeffs((h / BlockSize) * (w / BlockSize) * 64)
+	defer putCoeffs(coeffsBox)
+	quantizePlane(coeffs, plane.Data(), h, w, &table)
+	return vle.AppendFlat(nil, coeffs, 64)
 }
 
 // DecodePlane reconstructs one plane from an EncodePlane stream,
@@ -206,14 +157,13 @@ func (c *Codec) DecodePlane(data []byte, plane *tensor.Tensor, channel int) erro
 	if err != nil {
 		return err
 	}
-	blocks, err := vle.Decode(data)
-	if err != nil {
+	coeffs, coeffsBox := getCoeffs((h / BlockSize) * (w / BlockSize) * 64)
+	defer putCoeffs(coeffsBox)
+	if err := vle.DecodeFlatInto(coeffs, data, 64); err != nil {
 		return err
 	}
-	if want := (h / BlockSize) * (w / BlockSize); len(blocks) != want {
-		return fmt.Errorf("jpegq: %d blocks, want %d", len(blocks), want)
-	}
-	return decodePlaneBlocks(plane.Data(), h, w, blocks, table)
+	dequantizePlane(plane.Data(), coeffs, h, w, &table)
+	return nil
 }
 
 // RoundTrip compresses and decompresses the batch, returning the

@@ -1,0 +1,182 @@
+package jpegq
+
+import (
+	"sync"
+
+	"repro/internal/dct"
+	"repro/internal/vle"
+)
+
+// This file is the allocation-free plane engine behind the codec: a
+// cached 8×8 DCT pair that replays tensor.MatMul's serial kernel
+// bit-for-bit (so quantized coefficients — and therefore the entropy
+// stream — are byte-identical to the tensor-based pipeline it
+// replaced), plus flat quantize/dequantize loops over pooled int32
+// zigzag buffers.
+
+var (
+	// dctT is the 8×8 DCT-II matrix of dct.Transform(8) and dctTt its
+	// transpose, both flattened row-major.
+	dctT  [64]float32
+	dctTt [64]float32
+	// zzOrder is the zigzag traversal of an 8×8 block.
+	zzOrder [64]int
+)
+
+func init() {
+	t := dct.Transform(BlockSize).Data()
+	copy(dctT[:], t)
+	for i := 0; i < BlockSize; i++ {
+		for j := 0; j < BlockSize; j++ {
+			dctTt[j*BlockSize+i] = t[i*BlockSize+j]
+		}
+	}
+	copy(zzOrder[:], dct.ZigZag(BlockSize))
+}
+
+// mm8 computes the 8×8 product c = a·b with exactly the loop the
+// general matmul kernel runs for this size (serial i-k-j with the
+// zero-row skip and float32 accumulation), so results match
+// tensor.MatMul to the last bit.
+func mm8(c, a, b *[64]float32) {
+	for i := 0; i < BlockSize; i++ {
+		ai := a[i*BlockSize : i*BlockSize+BlockSize : i*BlockSize+BlockSize]
+		// Accumulate the output row in registers instead of memory: the
+		// adds happen in the same p-ascending order (and keep the same
+		// zero-row skip) as the general kernel, so every rounding step —
+		// and therefore the quantized stream — is unchanged.
+		var c0, c1, c2, c3, c4, c5, c6, c7 float32
+		for p := 0; p < BlockSize; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*BlockSize : p*BlockSize+BlockSize : p*BlockSize+BlockSize]
+			c0 += av * bp[0]
+			c1 += av * bp[1]
+			c2 += av * bp[2]
+			c3 += av * bp[3]
+			c4 += av * bp[4]
+			c5 += av * bp[5]
+			c6 += av * bp[6]
+			c7 += av * bp[7]
+		}
+		ci := c[i*BlockSize : i*BlockSize+BlockSize : i*BlockSize+BlockSize]
+		ci[0], ci[1], ci[2], ci[3] = c0, c1, c2, c3
+		ci[4], ci[5], ci[6], ci[7] = c4, c5, c6, c7
+	}
+}
+
+// forwardDCT8 computes dst = T·src·Tᵀ (the 2-D DCT-II), matching
+// dct.Apply2D bit-for-bit.
+func forwardDCT8(dst, src *[64]float32) {
+	var tmp [64]float32
+	mm8(&tmp, &dctT, src)
+	mm8(dst, &tmp, &dctTt)
+}
+
+// inverseDCT8 computes dst = Tᵀ·src·T, matching dct.Invert2D.
+func inverseDCT8(dst, src *[64]float32) {
+	var tmp [64]float32
+	mm8(&tmp, &dctTt, src)
+	mm8(dst, &tmp, &dctT)
+}
+
+// quantizePlane runs the lossy half of the pipeline — level shift, 8×8
+// DCT, quantization, zigzag — over one h×w plane (values in [0,1]),
+// writing 64 coefficients per block into dst in block raster order.
+// dst must have length (h/8)·(w/8)·64.
+func quantizePlane(dst []int32, plane []float32, h, w int, table *[64]int) {
+	var blk, d [64]float32
+	k := 0
+	for bi := 0; bi < h; bi += BlockSize {
+		for bj := 0; bj < w; bj += BlockSize {
+			for i := 0; i < BlockSize; i++ {
+				row := plane[(bi+i)*w+bj : (bi+i)*w+bj+BlockSize]
+				for j, v := range row {
+					blk[i*BlockSize+j] = v*255 - 128
+				}
+			}
+			forwardDCT8(&d, &blk)
+			for z, ix := range zzOrder {
+				q := float64(d[ix]) / float64(table[ix])
+				if q >= 0 {
+					dst[k+z] = int32(q + 0.5)
+				} else {
+					dst[k+z] = int32(q - 0.5)
+				}
+			}
+			k += 64
+		}
+	}
+}
+
+// dequantizePlane inverts quantizePlane: src holds 64 zigzagged
+// coefficients per block in block raster order.
+func dequantizePlane(plane []float32, src []int32, h, w int, table *[64]int) {
+	var d, rec [64]float32
+	k := 0
+	for bi := 0; bi < h; bi += BlockSize {
+		for bj := 0; bj < w; bj += BlockSize {
+			for z, ix := range zzOrder {
+				d[ix] = float32(int(src[k+z]) * table[ix])
+			}
+			k += 64
+			inverseDCT8(&rec, &d)
+			for i := 0; i < BlockSize; i++ {
+				row := plane[(bi+i)*w+bj : (bi+i)*w+bj+BlockSize]
+				for j := range row {
+					row[j] = (rec[i*BlockSize+j] + 128) / 255
+				}
+			}
+		}
+	}
+}
+
+// coeffPool recycles flat coefficient buffers across planes and calls.
+var coeffPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// getCoeffs returns a coefficient buffer of length n with arbitrary
+// contents — every caller overwrites all of it before reading — plus
+// the pool box to hand back to putCoeffs (re-boxing the slice on Put
+// would itself allocate).
+func getCoeffs(n int) ([]int32, *[]int32) {
+	bp := coeffPool.Get().(*[]int32)
+	if cap(*bp) < n {
+		*bp = make([]int32, n)
+	}
+	return (*bp)[:n], bp
+}
+
+func putCoeffs(bp *[]int32) { coeffPool.Put(bp) }
+
+// encBufPool recycles entropy-stream buffers for RoundTripPlane, whose
+// compressed bytes never escape.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// RoundTripPlane compresses one h×w plane (values in [0,1], dims
+// multiples of 8) and reconstructs it into out, returning the
+// compressed size in bytes. in and out may alias. All scratch —
+// coefficients, entropy buffers, Huffman state — is pooled, so
+// steady-state round trips allocate nothing.
+func (c *Codec) RoundTripPlane(out, in []float32, h, w, channel int) (int, error) {
+	table, err := c.TableFor(channel)
+	if err != nil {
+		return 0, err
+	}
+	coeffs, coeffsBox := getCoeffs((h / BlockSize) * (w / BlockSize) * 64)
+	defer putCoeffs(coeffsBox)
+	quantizePlane(coeffs, in, h, w, &table)
+	bp := encBufPool.Get().(*[]byte)
+	defer encBufPool.Put(bp)
+	enc, err := vle.AppendFlat((*bp)[:0], coeffs, 64)
+	if err != nil {
+		return 0, err
+	}
+	*bp = enc
+	if err := vle.DecodeFlatInto(coeffs, enc, 64); err != nil {
+		return 0, err
+	}
+	dequantizePlane(out, coeffs, h, w, &table)
+	return len(enc), nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package jpegq
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package sz
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation assertions skip under race, where the instrumentation
+// itself allocates.
+const raceEnabled = true

@@ -17,10 +17,42 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 	"repro/internal/vle"
 )
+
+// Pooled scratch: the residual coder runs per plane inside the codec
+// registry's pipeline, so quantization codes, the reconstruction state
+// and staging byte buffers are all recycled across calls.
+var (
+	codePool = sync.Pool{New: func() any { return new([]int32) }}
+	f32Pool  = sync.Pool{New: func() any { return new([]float32) }}
+	bytePool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// getCodes returns an int32 buffer of length n with arbitrary contents
+// plus its pool box (hand the box back, not the slice — re-boxing on
+// Put would allocate).
+func getCodes(n int) ([]int32, *[]int32) {
+	bp := codePool.Get().(*[]int32)
+	if cap(*bp) < n {
+		*bp = make([]int32, n)
+	}
+	return (*bp)[:n], bp
+}
+
+// getF32 returns a float32 buffer of length n with arbitrary contents
+// plus its pool box. The Lorenzo recurrences write every cell before
+// reading it, so no zeroing is needed.
+func getF32(n int) ([]float32, *[]float32) {
+	bp := f32Pool.Get().(*[]float32)
+	if cap(*bp) < n {
+		*bp = make([]float32, n)
+	}
+	return (*bp)[:n], bp
+}
 
 // Codec is an error-bounded compressor. Every reconstructed value is
 // within ErrorBound of its original (absolute error).
@@ -60,13 +92,19 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 	// full-precision bound.
 	eb := float64(float32(c.ErrorBound))
 
-	codeRows := make([][]int, 0, planes*h)
-	var raws []float32
-	recon := make([]float32, h*w) // decompressor-consistent state
+	// Every cell of recon is written before it is read (the predictor
+	// only looks west/north/northwest), so neither buffer needs zeroing.
+	codes, codesBox := getCodes(planes * h * w)
+	defer codePool.Put(codesBox)
+	recon, reconBox := getF32(h * w)
+	defer f32Pool.Put(reconBox)
+	rawsBox := f32Pool.Get().(*[]float32)
+	defer f32Pool.Put(rawsBox)
+	raws := (*rawsBox)[:0]
 	for p := 0; p < planes; p++ {
 		plane := x.Data()[p*h*w : (p+1)*h*w]
 		for i := 0; i < h; i++ {
-			row := make([]int, w)
+			row := codes[(p*h+i)*w : (p*h+i+1)*w]
 			for j := 0; j < w; j++ {
 				pred := lorenzo(recon, i, j, w)
 				v := float64(plane[i*w+j])
@@ -76,39 +114,37 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 					// Guard against float32 rounding pushing the
 					// reconstruction outside the bound.
 					if r32 := float32(rec); math.Abs(float64(r32)-v) <= c.ErrorBound {
-						row[j] = int(q)
+						row[j] = int32(q)
 						recon[i*w+j] = r32
 						continue
 					}
 				}
-				row[j] = sentinel
+				row[j] = int32(sentinel)
 				raws = append(raws, plane[i*w+j])
 				recon[i*w+j] = plane[i*w+j]
 			}
-			codeRows = append(codeRows, row)
 		}
 	}
-	codeStream, err := vle.Encode(codeRows)
+	*rawsBox = raws
+	csBox := bytePool.Get().(*[]byte)
+	defer bytePool.Put(csBox)
+	codeStream, err := vle.AppendFlat((*csBox)[:0], codes, w)
 	if err != nil {
 		return nil, err
 	}
+	*csBox = codeStream
 
-	out := make([]byte, 0, 32+len(codeStream)+4*len(raws))
-	hdr := make([]byte, 4)
-	put := func(v uint32) {
-		binary.LittleEndian.PutUint32(hdr, v)
-		out = append(out, hdr...)
-	}
-	put(magic)
-	put(math.Float32bits(float32(c.ErrorBound)))
-	put(uint32(planes))
-	put(uint32(h))
-	put(uint32(w))
-	put(uint32(len(codeStream)))
-	put(uint32(len(raws)))
+	out := make([]byte, 0, 28+len(codeStream)+4*len(raws))
+	out = binary.LittleEndian.AppendUint32(out, magic)
+	out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(c.ErrorBound)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(planes))
+	out = binary.LittleEndian.AppendUint32(out, uint32(h))
+	out = binary.LittleEndian.AppendUint32(out, uint32(w))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(codeStream)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(raws)))
 	out = append(out, codeStream...)
 	for _, v := range raws {
-		put(math.Float32bits(v))
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
 	}
 	return out, nil
 }
@@ -165,43 +201,67 @@ func (c *Codec) Decompress(data []byte, shape ...int) (*tensor.Tensor, error) {
 	if out.Dims() < 2 || out.Dim(-2) != h || out.Dim(-1) != w || out.Len() != planes*h*w {
 		return nil, fmt.Errorf("sz: shape %v does not match stream (%d planes of %dx%d)", shape, planes, h, w)
 	}
-	body := 28
-	if body+int(codeLen) > len(data) {
-		return nil, fmt.Errorf("sz: truncated code stream")
-	}
-	codeRows, err := vle.Decode(data[body : body+int(codeLen)])
-	if err != nil {
+	if err := c.decompressBody(out.Data(), data, eb, planes, h, w, codeLen, rawLen); err != nil {
 		return nil, err
 	}
-	if len(codeRows) != planes*h {
-		return nil, fmt.Errorf("sz: %d code rows, want %d", len(codeRows), planes*h)
+	return out, nil
+}
+
+// DecompressInto reconstructs a stream straight into dst (length
+// planes·h·w as recorded in the stream header, which must also match
+// the caller's expected plane geometry). It is the allocation-free
+// counterpart of Decompress used by the codec registry's plane
+// pipeline.
+func (c *Codec) DecompressInto(dst []float32, data []byte, h, w int) error {
+	planes, sh, sw, err := StreamDims(data)
+	if err != nil {
+		return err
+	}
+	if sh != h || sw != w || planes*h*w != len(dst) {
+		return fmt.Errorf("sz: stream is %d×%dx%d, want %d values of %dx%d", planes, sh, sw, len(dst), h, w)
+	}
+	eb := float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4:])))
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return fmt.Errorf("sz: invalid stored error bound %g", eb)
+	}
+	codeLen := binary.LittleEndian.Uint32(data[20:])
+	rawLen := binary.LittleEndian.Uint32(data[24:])
+	return c.decompressBody(dst, data, eb, planes, h, w, codeLen, rawLen)
+}
+
+// decompressBody decodes the residual codes and replays the Lorenzo
+// recurrence into dst, reading unpredictable values straight from the
+// raw section (no staging copy).
+func (c *Codec) decompressBody(dst []float32, data []byte, eb float64, planes, h, w int, codeLen, rawLen uint32) error {
+	body := 28
+	if body+int(codeLen) > len(data) {
+		return fmt.Errorf("sz: truncated code stream")
+	}
+	codes, codesBox := getCodes(planes * h * w)
+	defer codePool.Put(codesBox)
+	if err := vle.DecodeFlatInto(codes, data[body:body+int(codeLen)], w); err != nil {
+		return err
 	}
 	rawOff := body + int(codeLen)
 	if rawOff+4*int(rawLen) > len(data) {
-		return nil, fmt.Errorf("sz: truncated raw-value section")
-	}
-	raws := make([]float32, rawLen)
-	for i := range raws {
-		raws[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[rawOff+4*i:]))
+		return fmt.Errorf("sz: truncated raw-value section")
 	}
 
-	sentinel := c.Bins + 1
+	sentinel := int32(c.Bins + 1)
 	rawIx := 0
-	recon := make([]float32, h*w)
+	recon, reconBox := getF32(h * w)
+	defer f32Pool.Put(reconBox)
 	for p := 0; p < planes; p++ {
-		plane := out.Data()[p*h*w : (p+1)*h*w]
+		plane := dst[p*h*w : (p+1)*h*w]
 		for i := 0; i < h; i++ {
-			row := codeRows[p*h+i]
-			if len(row) != w {
-				return nil, fmt.Errorf("sz: code row width %d, want %d", len(row), w)
-			}
+			row := codes[(p*h+i)*w : (p*h+i+1)*w]
 			for j := 0; j < w; j++ {
 				q := row[j]
 				if q == sentinel {
-					if rawIx >= len(raws) {
-						return nil, fmt.Errorf("sz: raw-value section exhausted")
+					if rawIx >= int(rawLen) {
+						return fmt.Errorf("sz: raw-value section exhausted")
 					}
-					recon[i*w+j] = raws[rawIx]
+					recon[i*w+j] = math.Float32frombits(binary.LittleEndian.Uint32(data[rawOff+4*rawIx:]))
 					rawIx++
 				} else {
 					pred := lorenzo(recon, i, j, w)
@@ -211,7 +271,7 @@ func (c *Codec) Decompress(data []byte, shape ...int) (*tensor.Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // RoundTrip compresses and decompresses, returning the reconstruction

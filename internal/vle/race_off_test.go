@@ -1,0 +1,5 @@
+//go:build !race
+
+package vle
+
+const raceEnabled = false

@@ -8,11 +8,21 @@
 // trades the extra compression VLE would buy for fixed compile-time
 // shapes and two matmuls. The ablation bench compares chop, triangle
 // (SG) and zigzag+RLE+Huffman retention on the same coefficient data.
+//
+// The coder is two-pass and table-driven: a histogram pass over the
+// coefficients, a canonical Huffman build on fixed-size arrays, then an
+// emit pass — no token stream is ever materialised. Encoder and Decoder
+// state live in pools, and the flat int32 entry points (AppendFlat /
+// DecodeFlatInto) let callers with pooled buffers compress and
+// decompress without allocating. The byte format is unchanged from the
+// original map-and-token implementation.
 package vle
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"repro/internal/bitstream"
 )
@@ -25,13 +35,27 @@ const (
 	maxRun = 15
 )
 
+// maxSymbol bounds the decodable alphabet: runs ≤ 15, categories ≤ 31.
+const maxSymbol = 1 + 15*32 + 31
+
+// alphabetSize bounds the encoder-side symbol space. Values wider than
+// 31 bits produce categories up to 64, yielding symbols past maxSymbol;
+// the original encoder emitted them (and decoders reject them), so the
+// histogram must have room.
+const alphabetSize = 1 + 15*32 + 64 + 1
+
+// maxCodeLen is the longest admissible Huffman code.
+const maxCodeLen = 32
+
 // rleToken is one (zero-run, value) pair.
 type rleToken struct {
 	run   int // zeros preceding value, ≤ maxRun
 	value int // nonzero coefficient, or symEOB
 }
 
-// rleEncode converts one zigzagged coefficient block to tokens.
+// rleEncode converts one zigzagged coefficient block to tokens. The
+// streaming coder inlines this walk; it is kept as the reference
+// tokenizer (and for tests).
 func rleEncode(coeffs []int) []rleToken {
 	var toks []rleToken
 	run := 0
@@ -112,9 +136,6 @@ func tokenSymbol(t rleToken) (sym int, extra uint64, extraBits uint) {
 	return sym, extra, uint(cat) + 1
 }
 
-// maxSymbol bounds the alphabet: runs ≤ 15, categories ≤ 31.
-const maxSymbol = 1 + 15*32 + 31
-
 // symbolToken inverts tokenSymbol given the symbol and its extra bits.
 func symbolToken(sym int, read func(bits uint) (uint64, error)) (rleToken, error) {
 	if sym < 0 || sym > maxSymbol {
@@ -140,46 +161,545 @@ func symbolToken(sym int, read func(bits uint) (uint64, error)) (rleToken, error
 	return rleToken{run, v}, nil
 }
 
+// Encoder holds the histogram, canonical code tables and Huffman build
+// scratch on fixed-size arrays so a pooled instance encodes without
+// allocating. The zero value is NOT ready; obtain instances through the
+// package functions, which pool them.
+type Encoder struct {
+	freq   [alphabetSize]int64
+	lens   [alphabetSize]uint8
+	codeOf [alphabetSize]uint32
+	// sorted holds the present symbols ordered by (code length, symbol)
+	// — the canonical order, which is also the header order.
+	sorted [alphabetSize]uint16
+	nsym   int
+	// Huffman build scratch: leaves sorted by (weight, symbol), then a
+	// two-queue merge over index-addressed nodes (ids < nsym are leaves,
+	// ids ≥ nsym internals).
+	leafSym [alphabetSize]uint16
+	leafW   [alphabetSize]int64
+	nleaf   int
+	intW    [alphabetSize]int64
+	left    [2 * alphabetSize]int16
+	right   [2 * alphabetSize]int16
+	stack   [2 * alphabetSize]int16
+	depth   [2 * alphabetSize]uint16
+}
+
+var encoderPool = sync.Pool{New: func() any { return &Encoder{} }}
+
+// leafOrder sorts the build leaves by (weight, symbol) — the exact total
+// order the original pointer-based build used, so code assignment (and
+// the byte stream) is unchanged. Pointer-shaped so the sort.Interface
+// conversion does not allocate.
+type leafOrder struct{ e *Encoder }
+
+func (s leafOrder) Len() int { return s.e.nleaf }
+func (s leafOrder) Less(i, j int) bool {
+	if s.e.leafW[i] != s.e.leafW[j] {
+		return s.e.leafW[i] < s.e.leafW[j]
+	}
+	return s.e.leafSym[i] < s.e.leafSym[j]
+}
+func (s leafOrder) Swap(i, j int) {
+	s.e.leafW[i], s.e.leafW[j] = s.e.leafW[j], s.e.leafW[i]
+	s.e.leafSym[i], s.e.leafSym[j] = s.e.leafSym[j], s.e.leafSym[i]
+}
+
+// canonOrder sorts e.sorted by (code length, symbol) — canonical order.
+type canonOrder struct{ e *Encoder }
+
+func (s canonOrder) Len() int { return s.e.nsym }
+func (s canonOrder) Less(i, j int) bool {
+	li, lj := s.e.lens[s.e.sorted[i]], s.e.lens[s.e.sorted[j]]
+	if li != lj {
+		return li < lj
+	}
+	return s.e.sorted[i] < s.e.sorted[j]
+}
+func (s canonOrder) Swap(i, j int) {
+	s.e.sorted[i], s.e.sorted[j] = s.e.sorted[j], s.e.sorted[i]
+}
+
+func (e *Encoder) reset() {
+	for i := range e.freq {
+		e.freq[i] = 0
+		e.lens[i] = 0
+	}
+	e.nsym = 0
+}
+
+// countBlock runs the tokenizer over one block, updating the histogram.
+func countBlock[T ~int | ~int32](e *Encoder, coeffs []T) {
+	last := len(coeffs) - 1
+	for last >= 0 && coeffs[last] == 0 {
+		last--
+	}
+	run := 0
+	for i := 0; i <= last; i++ {
+		v := int64(coeffs[i])
+		if v == 0 {
+			run++
+			if run == maxRun {
+				e.freq[1+maxRun*32]++
+				run = 0
+			}
+			continue
+		}
+		if v == symEOB {
+			// Historical sentinel collision: −32768 is indistinguishable
+			// from the end-of-block marker, so it was (and still is)
+			// coded as one. Kept for byte-identical streams.
+			e.freq[0]++
+			run = 0
+			continue
+		}
+		vv := v
+		if vv < 0 {
+			vv = -vv
+		}
+		var cat int
+		if vv > 0 {
+			cat = bits.Len64(uint64(vv))
+		}
+		e.freq[1+run*32+cat]++
+		run = 0
+	}
+	e.freq[0]++ // EOB
+}
+
+// emitBlock re-runs the tokenizer over one block, writing codes.
+func emitBlock[T ~int | ~int32](e *Encoder, w *bitstream.Writer, coeffs []T) {
+	last := len(coeffs) - 1
+	for last >= 0 && coeffs[last] == 0 {
+		last--
+	}
+	run := 0
+	for i := 0; i <= last; i++ {
+		v := int64(coeffs[i])
+		if v == 0 {
+			run++
+			if run == maxRun {
+				sym := 1 + maxRun*32
+				w.WriteBits(uint64(e.codeOf[sym]), uint(e.lens[sym]))
+				run = 0
+			}
+			continue
+		}
+		if v == symEOB {
+			// Sentinel collision (see countBlock): coded as EOB.
+			w.WriteBits(uint64(e.codeOf[0]), uint(e.lens[0]))
+			run = 0
+			continue
+		}
+		neg := v < 0
+		vv := v
+		if neg {
+			vv = -vv
+		}
+		var cat uint
+		if vv > 0 {
+			cat = uint(bits.Len64(uint64(vv)))
+		}
+		sym := 1 + run*32 + int(cat)
+		extra := uint64(vv)
+		if neg {
+			extra |= 1 << cat
+		}
+		// Code and extra bits in one word write when they fit.
+		l := uint(e.lens[sym])
+		if l+cat+1 <= 64 {
+			w.WriteBits(uint64(e.codeOf[sym])<<(cat+1)|extra, l+cat+1)
+		} else {
+			w.WriteBits(uint64(e.codeOf[sym]), l)
+			w.WriteBits(extra, cat+1)
+		}
+		run = 0
+	}
+	w.WriteBits(uint64(e.codeOf[0]), uint(e.lens[0])) // EOB
+}
+
+// build turns the histogram into canonical code tables. It reproduces
+// the original two-queue Huffman construction exactly: leaves sorted by
+// (weight, symbol), ties popped leaf-first, left-then-right depth walk,
+// zero-depth roots promoted to one bit.
+func (e *Encoder) build() error {
+	n := 0
+	for sym, f := range e.freq {
+		if f > 0 {
+			e.leafSym[n] = uint16(sym)
+			e.leafW[n] = f
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("vle: empty alphabet")
+	}
+	e.nleaf = n
+	sort.Sort(leafOrder{e})
+	if n == 1 {
+		e.lens[e.leafSym[0]] = 1
+	} else {
+		li, ii, created := 0, 0, 0
+		pop := func() int {
+			if li < n && (ii >= created || e.leafW[li] <= e.intW[ii]) {
+				li++
+				return li - 1
+			}
+			ii++
+			return n + ii - 1
+		}
+		for remaining := n; remaining > 1; remaining-- {
+			a := pop()
+			b := pop()
+			wa, wb := e.nodeWeight(a, n), e.nodeWeight(b, n)
+			e.intW[created] = wa + wb
+			e.left[created] = int16(a)
+			e.right[created] = int16(b)
+			created++
+		}
+		// Iterative left-first depth walk from the root (last internal).
+		top := 0
+		e.stack[top] = int16(n + created - 1)
+		e.depth[top] = 0
+		top++
+		for top > 0 {
+			top--
+			id := int(e.stack[top])
+			d := e.depth[top]
+			if id < n {
+				if d == 0 {
+					d = 1
+				}
+				if d > maxCodeLen {
+					return fmt.Errorf("vle: bad code length %d for symbol %d", d, e.leafSym[id])
+				}
+				e.lens[e.leafSym[id]] = uint8(d)
+				continue
+			}
+			// Push right first so left pops (and assigns) first,
+			// matching the recursive walk's order.
+			e.stack[top] = e.right[id-n]
+			e.depth[top] = d + 1
+			top++
+			e.stack[top] = e.left[id-n]
+			e.depth[top] = d + 1
+			top++
+		}
+	}
+	// Canonical assignment over the present symbols.
+	e.nsym = n
+	for i := 0; i < n; i++ {
+		e.sorted[i] = e.leafSym[i]
+	}
+	sort.Sort(canonOrder{e})
+	var next [maxCodeLen + 2]uint64
+	var countAt [maxCodeLen + 1]int
+	var maxLen uint8
+	for i := 0; i < n; i++ {
+		l := e.lens[e.sorted[i]]
+		countAt[l]++
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	var code uint64
+	for l := uint(1); l <= uint(maxLen); l++ {
+		next[l] = code
+		code += uint64(countAt[l])
+		code <<= 1
+	}
+	for i := 0; i < n; i++ {
+		sym := e.sorted[i]
+		l := e.lens[sym]
+		e.codeOf[sym] = uint32(next[l])
+		next[l]++
+	}
+	return nil
+}
+
+func (e *Encoder) nodeWeight(id, n int) int64 {
+	if id < n {
+		return e.leafW[id]
+	}
+	return e.intW[id-n]
+}
+
+// writeHeader persists block count, block size and the code lengths.
+func (e *Encoder) writeHeader(w *bitstream.Writer, nblocks, size int) {
+	w.WriteBits(uint64(nblocks), 32)
+	w.WriteBits(uint64(size), 16)
+	w.WriteBits(uint64(e.nsym), 16)
+	for i := 0; i < e.nsym; i++ {
+		sym := e.sorted[i]
+		w.WriteBits(uint64(sym), 16)
+		w.WriteBits(uint64(e.lens[sym]), 6)
+	}
+}
+
 // Encode compresses blocks of zigzagged integer coefficients with
 // RLE + canonical Huffman. All blocks must have the same length.
 func Encode(blocks [][]int) ([]byte, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("vle: no blocks")
 	}
-	// Tokenize everything and build the symbol histogram.
-	var allToks [][]rleToken
-	freq := map[int]int{}
+	e := encoderPool.Get().(*Encoder)
+	defer encoderPool.Put(e)
+	e.reset()
 	for _, b := range blocks {
-		toks := rleEncode(b)
-		allToks = append(allToks, toks)
-		for _, t := range toks {
-			sym, _, _ := tokenSymbol(t)
-			freq[sym]++
-		}
+		countBlock(e, b)
 	}
-	code, err := buildCanonical(freq)
-	if err != nil {
+	if err := e.build(); err != nil {
 		return nil, err
 	}
 	w := bitstream.NewWriter()
-	writeHeader(w, len(blocks), len(blocks[0]), code)
-	for _, toks := range allToks {
-		for _, t := range toks {
-			sym, extra, extraBits := tokenSymbol(t)
-			c := code.codes[sym]
-			w.WriteBits(c.bits, c.len)
-			if extraBits > 0 {
-				w.WriteBits(extra, extraBits)
-			}
-		}
+	e.writeHeader(w, len(blocks), len(blocks[0]))
+	for _, b := range blocks {
+		emitBlock(e, w, b)
 	}
 	return w.Bytes(), nil
 }
 
+// AppendFlat compresses len(coeffs)/blockSize equal-size blocks stored
+// back to back in a flat int32 buffer, appending the encoded stream
+// (identical to Encode's) to dst. It allocates nothing beyond dst's
+// growth, so callers with capacity-managed buffers run allocation-free.
+func AppendFlat(dst []byte, coeffs []int32, blockSize int) ([]byte, error) {
+	if blockSize < 1 || len(coeffs) == 0 || len(coeffs)%blockSize != 0 {
+		return nil, fmt.Errorf("vle: flat buffer %d not a multiple of block size %d", len(coeffs), blockSize)
+	}
+	e := encoderPool.Get().(*Encoder)
+	defer encoderPool.Put(e)
+	e.reset()
+	for off := 0; off < len(coeffs); off += blockSize {
+		countBlock(e, coeffs[off:off+blockSize])
+	}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	w := bitstream.GetWriter()
+	defer bitstream.PutWriter(w)
+	e.writeHeader(w, len(coeffs)/blockSize, blockSize)
+	for off := 0; off < len(coeffs); off += blockSize {
+		emitBlock(e, w, coeffs[off:off+blockSize])
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// lutBits sizes the first-level decode table: one 2^11-entry lookup
+// resolves every code up to 11 bits in a single peek.
+const lutBits = 11
+
+// Decoder holds canonical decode tables rebuilt per stream; pooled so
+// steady-state decoding is allocation-free.
+type Decoder struct {
+	lens    [maxSymbol + 1]uint8
+	present [maxSymbol + 1]bool
+	codeOf  [maxSymbol + 1]uint64
+	sorted  [maxSymbol + 1]uint16
+	nsym    int
+	countAt [maxCodeLen + 1]int32
+	firstAt [maxCodeLen + 1]uint64
+	indexAt [maxCodeLen + 1]int32
+	maxLen  uint
+	// lut maps the next lutBits bits to sym<<6|len for short codes.
+	lut [1 << lutBits]uint16
+}
+
+var decoderPool = sync.Pool{New: func() any { return &Decoder{} }}
+
+// decodeOrder sorts d.sorted by (code length, symbol).
+type decodeOrder struct{ d *Decoder }
+
+func (s decodeOrder) Len() int { return s.d.nsym }
+func (s decodeOrder) Less(i, j int) bool {
+	li, lj := s.d.lens[s.d.sorted[i]], s.d.lens[s.d.sorted[j]]
+	if li != lj {
+		return li < lj
+	}
+	return s.d.sorted[i] < s.d.sorted[j]
+}
+func (s decodeOrder) Swap(i, j int) {
+	s.d.sorted[i], s.d.sorted[j] = s.d.sorted[j], s.d.sorted[i]
+}
+
+// readHeader parses the stream header and builds the decode tables.
+func (d *Decoder) readHeader(r *bitstream.Reader) (nblocks, size int, err error) {
+	nb, err := r.ReadBits(32)
+	if err != nil {
+		return 0, 0, err
+	}
+	sz, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	nsym, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range d.present {
+		d.present[i] = false
+	}
+	for i := 0; i < int(nsym); i++ {
+		sym, err := r.ReadBits(16)
+		if err != nil {
+			return 0, 0, err
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return 0, 0, err
+		}
+		if sym > maxSymbol {
+			return 0, 0, fmt.Errorf("vle: symbol %d outside alphabet", sym)
+		}
+		d.present[sym] = true
+		d.lens[sym] = uint8(l)
+	}
+	if err := d.build(); err != nil {
+		return 0, 0, err
+	}
+	return int(nb), int(sz), nil
+}
+
+// build constructs the canonical decode tables (and the fast LUT) from
+// d.present/d.lens.
+func (d *Decoder) build() error {
+	d.nsym = 0
+	for l := range d.countAt {
+		d.countAt[l] = 0
+	}
+	for sym, p := range d.present {
+		if !p {
+			continue
+		}
+		l := d.lens[sym]
+		if l == 0 || l > maxCodeLen {
+			return fmt.Errorf("vle: bad code length %d for symbol %d", l, sym)
+		}
+		d.sorted[d.nsym] = uint16(sym)
+		d.nsym++
+		d.countAt[l]++
+	}
+	sort.Sort(decodeOrder{d})
+	d.maxLen = 0
+	var code uint64
+	var index int32
+	for l := uint(1); l <= maxCodeLen; l++ {
+		d.firstAt[l] = code
+		d.indexAt[l] = index
+		code += uint64(d.countAt[l])
+		index += d.countAt[l]
+		code <<= 1
+		if d.countAt[l] > 0 {
+			d.maxLen = l
+		}
+	}
+	for i := 0; i < d.nsym; i++ {
+		sym := d.sorted[i]
+		l := uint(d.lens[sym])
+		c := d.firstAt[l] + uint64(i) - uint64(d.indexAt[l])
+		d.codeOf[sym] = c
+	}
+	// Fast table: every code of length ≤ lutBits owns a contiguous
+	// 2^(lutBits−l) range of peeked values. A zero entry means "no short
+	// code matches" (len 0 cannot be encoded, so 0 is a safe sentinel).
+	for i := range d.lut {
+		d.lut[i] = 0
+	}
+	for i := 0; i < d.nsym; i++ {
+		sym := d.sorted[i]
+		l := uint(d.lens[sym])
+		if l > lutBits {
+			continue
+		}
+		c := d.codeOf[sym]
+		if c >= 1<<l {
+			// Over-subscribed (hostile) header: the code has overflowed
+			// its length class; leave it to the slow path.
+			continue
+		}
+		base := c << (lutBits - l)
+		span := uint64(1) << (lutBits - l)
+		packed := uint16(sym)<<6 | uint16(l)
+		for j := uint64(0); j < span; j++ {
+			d.lut[base+j] = packed
+		}
+	}
+	return nil
+}
+
+// readSym decodes one symbol: one peek through the LUT for short codes,
+// a per-length canonical scan for the rest.
+func (d *Decoder) readSym(r *bitstream.Reader) (int, error) {
+	if ent := d.lut[r.Peek(lutBits)]; ent != 0 {
+		r.Consume(uint(ent & 63))
+		if r.Overread() {
+			return 0, bitstream.ErrOutOfBits
+		}
+		return int(ent >> 6), nil
+	}
+	code := r.Peek(d.maxLen)
+	for l := uint(1); l <= d.maxLen; l++ {
+		cnt := d.countAt[l]
+		if cnt == 0 {
+			continue
+		}
+		c := code >> (d.maxLen - l)
+		first := d.firstAt[l]
+		if c >= first && c < first+uint64(cnt) {
+			r.Consume(l)
+			if r.Overread() {
+				return 0, bitstream.ErrOutOfBits
+			}
+			return int(d.sorted[d.indexAt[l]+int32(c-first)]), nil
+		}
+	}
+	return 0, fmt.Errorf("vle: invalid Huffman code")
+}
+
+// decodeBlockInto decodes one block's tokens into dst (pre-zeroed),
+// mirroring rleDecode's bounds behaviour.
+func (d *Decoder) decodeBlockInto(r *bitstream.Reader, dst []int32) error {
+	pos := 0
+	for {
+		sym, err := d.readSym(r)
+		if err != nil {
+			return err
+		}
+		if sym == 0 {
+			return nil // EOB
+		}
+		run := (sym - 1) / 32
+		cat := (sym - 1) % 32
+		pos += run
+		if cat == 0 {
+			continue // pure run extension
+		}
+		raw, err := r.ReadBits(uint(cat) + 1)
+		if err != nil {
+			return err
+		}
+		if pos >= len(dst) {
+			return fmt.Errorf("vle: run overflows block (%d ≥ %d)", pos, len(dst))
+		}
+		v := int32(raw & ((1 << uint(cat)) - 1))
+		if raw&(1<<uint(cat)) != 0 {
+			v = -v
+		}
+		dst[pos] = v
+		pos++
+	}
+}
+
+// maxBlockSize bounds a decoded block against hostile headers.
+const maxBlockSize = 1 << 14
+
 // Decode reverses Encode.
 func Decode(data []byte) ([][]int, error) {
+	d := decoderPool.Get().(*Decoder)
+	defer decoderPool.Put(d)
 	r := bitstream.NewReader(data)
-	nblocks, size, code, err := readHeader(r)
+	nblocks, size, err := d.readHeader(r)
 	if err != nil {
 		return nil, err
 	}
@@ -188,241 +708,51 @@ func Decode(data []byte) ([][]int, error) {
 	if nblocks < 1 || nblocks > r.Remaining() {
 		return nil, fmt.Errorf("vle: implausible block count %d for %d remaining bits", nblocks, r.Remaining())
 	}
-	const maxBlockSize = 1 << 14
 	if size < 1 || size > maxBlockSize {
 		return nil, fmt.Errorf("vle: implausible block size %d", size)
 	}
 	out := make([][]int, 0, min(nblocks, 1024))
+	row := make([]int32, size)
 	for b := 0; b < nblocks; b++ {
-		var toks []rleToken
-		for {
-			sym, err := code.read(r)
-			if err != nil {
-				return nil, err
-			}
-			tok, err := symbolToken(sym, r.ReadBits)
-			if err != nil {
-				return nil, err
-			}
-			toks = append(toks, tok)
-			if tok.value == symEOB {
-				break
-			}
+		for i := range row {
+			row[i] = 0
 		}
-		block, _, err := rleDecode(toks, size)
-		if err != nil {
+		if err := d.decodeBlockInto(r, row); err != nil {
 			return nil, err
+		}
+		block := make([]int, size)
+		for i, v := range row {
+			block[i] = int(v)
 		}
 		out = append(out, block)
 	}
 	return out, nil
 }
 
-// canonical is a canonical Huffman code over the symbol alphabet.
-type canonical struct {
-	// lens[sym] is the code length; codes[sym] the left-aligned code.
-	lens  map[int]uint
-	codes map[int]struct {
-		bits uint64
-		len  uint
-	}
-	// Decoding tables: symbols sorted by (len, sym) with first-code
-	// offsets per length.
-	sorted  []int
-	firstAt map[uint]uint64
-	countAt map[uint]int
-	indexAt map[uint]int
-	maxLen  uint
-}
-
-// buildCanonical constructs a length-limited (≤ 32) canonical code from
-// symbol frequencies using package-merge-free Huffman (plain heapless
-// two-queue build on sorted frequencies; alphabet is small).
-func buildCanonical(freq map[int]int) (*canonical, error) {
-	type node struct {
-		w           int
-		sym         int
-		left, right *node
-	}
-	var leaves []*node
-	for sym, f := range freq {
-		leaves = append(leaves, &node{w: f, sym: sym})
-	}
-	if len(leaves) == 0 {
-		return nil, fmt.Errorf("vle: empty alphabet")
-	}
-	sort.Slice(leaves, func(i, j int) bool {
-		if leaves[i].w != leaves[j].w {
-			return leaves[i].w < leaves[j].w
-		}
-		return leaves[i].sym < leaves[j].sym
-	})
-	lens := map[int]uint{}
-	if len(leaves) == 1 {
-		lens[leaves[0].sym] = 1
-	} else {
-		// Two-queue Huffman: leaves queue + internal-nodes queue.
-		internal := make([]*node, 0, len(leaves))
-		li, ii := 0, 0
-		pop := func() *node {
-			if li < len(leaves) && (ii >= len(internal) || leaves[li].w <= internal[ii].w) {
-				li++
-				return leaves[li-1]
-			}
-			ii++
-			return internal[ii-1]
-		}
-		remaining := len(leaves)
-		for remaining > 1 {
-			a := pop()
-			b := pop()
-			internal = append(internal, &node{w: a.w + b.w, left: a, right: b})
-			remaining--
-		}
-		root := internal[len(internal)-1]
-		var walk func(n *node, depth uint)
-		walk = func(n *node, depth uint) {
-			if n.left == nil {
-				if depth == 0 {
-					depth = 1
-				}
-				lens[n.sym] = depth
-				return
-			}
-			walk(n.left, depth+1)
-			walk(n.right, depth+1)
-		}
-		walk(root, 0)
-	}
-	return canonicalFromLengths(lens)
-}
-
-// canonicalFromLengths assigns canonical codes given code lengths.
-func canonicalFromLengths(lens map[int]uint) (*canonical, error) {
-	c := &canonical{
-		lens: lens,
-		codes: map[int]struct {
-			bits uint64
-			len  uint
-		}{},
-		firstAt: map[uint]uint64{},
-		countAt: map[uint]int{},
-		indexAt: map[uint]int{},
-	}
-	for sym, l := range lens {
-		if l == 0 || l > 32 {
-			return nil, fmt.Errorf("vle: bad code length %d for symbol %d", l, sym)
-		}
-		c.sorted = append(c.sorted, sym)
-		if l > c.maxLen {
-			c.maxLen = l
-		}
-		c.countAt[l]++
-	}
-	sort.Slice(c.sorted, func(i, j int) bool {
-		li, lj := lens[c.sorted[i]], lens[c.sorted[j]]
-		if li != lj {
-			return li < lj
-		}
-		return c.sorted[i] < c.sorted[j]
-	})
-	var code uint64
-	index := 0
-	for l := uint(1); l <= c.maxLen; l++ {
-		c.firstAt[l] = code
-		c.indexAt[l] = index
-		code += uint64(c.countAt[l])
-		index += c.countAt[l]
-		code <<= 1
-	}
-	// Assign codes sequentially within each length class.
-	next := map[uint]uint64{}
-	for l, f := range c.firstAt {
-		next[l] = f
-	}
-	for _, sym := range c.sorted {
-		l := lens[sym]
-		c.codes[sym] = struct {
-			bits uint64
-			len  uint
-		}{next[l], l}
-		next[l]++
-	}
-	return c, nil
-}
-
-// read decodes one symbol from the stream.
-func (c *canonical) read(r *bitstream.Reader) (int, error) {
-	var code uint64
-	for l := uint(1); l <= c.maxLen; l++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		code = code<<1 | uint64(b)
-		count := c.countAt[l]
-		if count == 0 {
-			continue
-		}
-		first := c.firstAt[l]
-		if code >= first && code < first+uint64(count) {
-			return c.sorted[c.indexAt[l]+int(code-first)], nil
-		}
-	}
-	return 0, fmt.Errorf("vle: invalid Huffman code")
-}
-
-// writeHeader persists block count, block size and the code lengths.
-func writeHeader(w *bitstream.Writer, nblocks, size int, c *canonical) {
-	w.WriteBits(uint64(nblocks), 32)
-	w.WriteBits(uint64(size), 16)
-	w.WriteBits(uint64(len(c.sorted)), 16)
-	for _, sym := range c.sorted {
-		w.WriteBits(uint64(uint16(sym)), 16)
-		w.WriteBits(uint64(c.lens[sym]), 6)
-	}
-}
-
-// readHeader reverses writeHeader.
-func readHeader(r *bitstream.Reader) (nblocks, size int, c *canonical, err error) {
-	nb, err := r.ReadBits(32)
+// DecodeFlatInto decodes a stream produced by AppendFlat (or Encode)
+// into dst, which must hold exactly nblocks·blockSize elements matching
+// the stream header. It allocates nothing.
+func DecodeFlatInto(dst []int32, data []byte, blockSize int) error {
+	d := decoderPool.Get().(*Decoder)
+	defer decoderPool.Put(d)
+	r := bitstream.NewReader(data)
+	nblocks, size, err := d.readHeader(r)
 	if err != nil {
-		return 0, 0, nil, err
+		return err
 	}
-	sz, err := r.ReadBits(16)
-	if err != nil {
-		return 0, 0, nil, err
+	if size != blockSize {
+		return fmt.Errorf("vle: stream block size %d, want %d", size, blockSize)
 	}
-	nsym, err := r.ReadBits(16)
-	if err != nil {
-		return 0, 0, nil, err
+	if nblocks < 1 || nblocks*blockSize != len(dst) {
+		return fmt.Errorf("vle: stream holds %d×%d values, want %d", nblocks, size, len(dst))
 	}
-	lens := map[int]uint{}
-	for i := 0; i < int(nsym); i++ {
-		sym, err := r.ReadBits(16)
-		if err != nil {
-			return 0, 0, nil, err
+	for i := range dst {
+		dst[i] = 0
+	}
+	for off := 0; off < len(dst); off += blockSize {
+		if err := d.decodeBlockInto(r, dst[off:off+blockSize]); err != nil {
+			return err
 		}
-		l, err := r.ReadBits(6)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		symVal := int(sym)
-		if symVal > maxSymbol {
-			return 0, 0, nil, fmt.Errorf("vle: symbol %d outside alphabet", symVal)
-		}
-		lens[symVal] = uint(l)
 	}
-	c, err = canonicalFromLengths(lens)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	return int(nb), int(sz), c, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return nil
 }

@@ -18,6 +18,7 @@ package zfp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/bitstream"
 	"repro/internal/tensor"
@@ -85,19 +86,26 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 	}
 	planes := x.Len() / (h * w)
 	bw := bitstream.NewWriter()
-	var block [blockValues]float32
 	for p := 0; p < planes; p++ {
-		plane := x.Data()[p*h*w : (p+1)*h*w]
-		for bi := 0; bi < h; bi += BlockSize {
-			for bj := 0; bj < w; bj += BlockSize {
-				for i := 0; i < BlockSize; i++ {
-					copy(block[i*BlockSize:(i+1)*BlockSize], plane[(bi+i)*w+bj:(bi+i)*w+bj+BlockSize])
-				}
-				c.encodeBlock(bw, &block)
-			}
-		}
+		c.EncodePlane(bw, x.Data()[p*h*w:(p+1)*h*w], h, w)
 	}
 	return bw.Bytes(), nil
+}
+
+// EncodePlane writes every 4×4 block of one h×w plane (len h·w, h and w
+// multiples of 4) to bw. It allocates nothing, so a pooled Writer gives
+// an allocation-free compress path.
+func (c *Codec) EncodePlane(bw *bitstream.Writer, plane []float32, h, w int) {
+	budget := c.blockBits()
+	var block [blockValues]float32
+	for bi := 0; bi < h; bi += BlockSize {
+		for bj := 0; bj < w; bj += BlockSize {
+			for i := 0; i < BlockSize; i++ {
+				copy(block[i*BlockSize:(i+1)*BlockSize], plane[(bi+i)*w+bj:(bi+i)*w+bj+BlockSize])
+			}
+			c.encodeBlock(bw, &block, budget)
+		}
+	}
 }
 
 // Decompress reconstructs a tensor of the given shape from Compress
@@ -111,21 +119,30 @@ func (c *Codec) Decompress(data []byte, shape ...int) (*tensor.Tensor, error) {
 	}
 	planes := out.Len() / (h * w)
 	br := bitstream.NewReader(data)
-	var block [blockValues]float32
 	for p := 0; p < planes; p++ {
-		plane := out.Data()[p*h*w : (p+1)*h*w]
-		for bi := 0; bi < h; bi += BlockSize {
-			for bj := 0; bj < w; bj += BlockSize {
-				if err := c.decodeBlock(br, &block); err != nil {
-					return nil, err
-				}
-				for i := 0; i < BlockSize; i++ {
-					copy(plane[(bi+i)*w+bj:(bi+i)*w+bj+BlockSize], block[i*BlockSize:(i+1)*BlockSize])
-				}
-			}
+		if err := c.DecodePlane(br, out.Data()[p*h*w:(p+1)*h*w], h, w); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// DecodePlane reads every 4×4 block of one h×w plane from br into
+// plane. Like EncodePlane it allocates nothing.
+func (c *Codec) DecodePlane(br *bitstream.Reader, plane []float32, h, w int) error {
+	budget := c.blockBits()
+	var block [blockValues]float32
+	for bi := 0; bi < h; bi += BlockSize {
+		for bj := 0; bj < w; bj += BlockSize {
+			if err := c.decodeBlock(br, &block, budget); err != nil {
+				return err
+			}
+			for i := 0; i < BlockSize; i++ {
+				copy(plane[(bi+i)*w+bj:(bi+i)*w+bj+BlockSize], block[i*BlockSize:(i+1)*BlockSize])
+			}
+		}
+	}
+	return nil
 }
 
 // RoundTrip compresses and decompresses x, returning the reconstruction
@@ -143,8 +160,7 @@ func (c *Codec) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 }
 
 // encodeBlock writes one 4×4 block at the fixed budget.
-func (c *Codec) encodeBlock(bw *bitstream.Writer, block *[blockValues]float32) {
-	budget := c.blockBits()
+func (c *Codec) encodeBlock(bw *bitstream.Writer, block *[blockValues]float32, budget int) {
 	// Common exponent: largest binary exponent in the block.
 	e := blockExponent(block)
 	bw.WriteBits(uint64(e+exponentBias), expBits)
@@ -179,11 +195,25 @@ func (c *Codec) encodeBlock(bw *bitstream.Writer, block *[blockValues]float32) {
 	// coded verbatim; the rest are coded with one group-test bit plus a
 	// unary walk to each newly-significant coefficient, so all-zero
 	// tails cost a single bit per plane.
+	// Pack coefficient pairs into 64-bit words so each plane gather
+	// touches 8 words instead of 16; `any` short-circuits planes with no
+	// set bits. The extracted plane words are identical to the scalar
+	// per-coefficient gather.
+	var w8 [8]uint64
+	var anyW uint64
+	for i := 0; i < 8; i++ {
+		w8[i] = uint64(u[2*i]) | uint64(u[2*i+1])<<32
+		anyW |= w8[i]
+	}
+	any := uint32(anyW) | uint32(anyW>>32)
 	n := 0
 	for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
 		var x uint32
-		for k := 0; k < blockValues; k++ {
-			x |= ((u[k] >> uint(plane)) & 1) << uint(k)
+		if (any>>uint(plane))&1 != 0 {
+			for i := 0; i < 8; i++ {
+				y := (w8[i] >> uint(plane)) & 0x0000000100000001
+				x |= uint32(y|y>>31) << uint(2*i)
+			}
 		}
 		encodePlane(bw, x, &n, &budget)
 	}
@@ -191,35 +221,48 @@ func (c *Codec) encodeBlock(bw *bitstream.Writer, block *[blockValues]float32) {
 
 // encodePlane writes one bit plane (bit k of x = coefficient k in
 // sequency order) under the persistent significance count n and the
-// remaining bit budget.
+// remaining bit budget. The stream layout is the original bit-by-bit
+// scheme — a verbatim section for already-significant coefficients,
+// then group-test bits with unary walks to each newly-significant
+// coefficient — but emitted in batched word writes: the verbatim
+// section is one bit-reversed WriteBits, and each test-bit + zero-run +
+// terminator triple is a single write sized by TrailingZeros32.
 func encodePlane(bw *bitstream.Writer, x uint32, n, budget *int) {
-	k := 0
-	for ; k < *n && *budget > 0; k++ {
-		bw.WriteBits(uint64(x&1), 1)
-		x >>= 1
-		*budget--
+	// Verbatim section: min(n, budget) low bits of x, coefficient 0
+	// first. Bit-reversal converts the LSB-first coefficient order into
+	// the MSB-first order WriteBits emits.
+	m := *n
+	if m > *budget {
+		m = *budget
 	}
+	if m > 0 {
+		bw.WriteBits(uint64(bits.Reverse32(x)>>(32-uint(m))), uint(m))
+		x >>= uint(m)
+		*budget -= m
+	}
+	k := m
 	newN := *n
 	for k < blockValues && *budget > 0 {
-		test := uint64(0)
-		if x != 0 {
-			test = 1
-		}
-		bw.WriteBits(test, 1)
-		*budget--
-		if test == 0 {
+		if x == 0 {
+			// Group test fails: one 0 bit retires the whole plane tail.
+			bw.WriteBit(0)
+			*budget--
 			break
 		}
-		for *budget > 0 {
-			b := x & 1
-			x >>= 1
-			bw.WriteBits(uint64(b), 1)
-			*budget--
-			k++
-			if b == 1 {
-				newN = k
-				break
-			}
+		tz := bits.TrailingZeros32(x)
+		if *budget >= tz+2 {
+			// Test bit (1), tz zeros, and the terminating 1 in one write:
+			// 1 0…0 1 over tz+2 bits.
+			bw.WriteBits(1<<(uint(tz)+1)|1, uint(tz)+2)
+			*budget -= tz + 2
+			x >>= uint(tz) + 1
+			k += tz + 1
+			newN = k
+		} else {
+			// Budget expires inside the run: test bit then budget−1
+			// zeros, exactly where the bit-by-bit coder stopped.
+			bw.WriteBits(1<<uint(*budget-1), uint(*budget))
+			*budget = 0
 		}
 	}
 	if newN > *n {
@@ -228,8 +271,7 @@ func encodePlane(bw *bitstream.Writer, x uint32, n, budget *int) {
 }
 
 // decodeBlock reads one block and reconstructs its values.
-func (c *Codec) decodeBlock(br *bitstream.Reader, block *[blockValues]float32) error {
-	budget := c.blockBits()
+func (c *Codec) decodeBlock(br *bitstream.Reader, block *[blockValues]float32, budget int) error {
 	eRaw, err := br.ReadBits(expBits)
 	if err != nil {
 		return err
@@ -237,16 +279,28 @@ func (c *Codec) decodeBlock(br *bitstream.Reader, block *[blockValues]float32) e
 	e := int(eRaw) - exponentBias
 	budget -= expBits
 
-	var u [blockValues]uint32
+	// Mirror of the encoder's paired-word layout: bits accumulate into 8
+	// uint64s (two coefficients each) and unpack once at the end; empty
+	// planes skip the scatter entirely.
+	var w8 [8]uint64
 	n := 0
 	for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
 		x, err := decodePlane(br, &n, &budget)
 		if err != nil {
 			return err
 		}
-		for k := 0; k < blockValues; k++ {
-			u[k] |= ((x >> uint(k)) & 1) << uint(plane)
+		if x == 0 {
+			continue
 		}
+		for i := 0; i < 8; i++ {
+			y := uint64(x>>uint(2*i))&1 | (uint64(x>>uint(2*i+1))&1)<<32
+			w8[i] |= y << uint(plane)
+		}
+	}
+	var u [blockValues]uint32
+	for i := 0; i < 8; i++ {
+		u[2*i] = uint32(w8[i])
+		u[2*i+1] = uint32(w8[i] >> 32)
 	}
 
 	var q [blockValues]int32
@@ -271,15 +325,31 @@ func (c *Codec) decodeBlock(br *bitstream.Reader, block *[blockValues]float32) e
 // counts.
 func decodePlane(br *bitstream.Reader, n, budget *int) (uint32, error) {
 	var x uint32
+	// Verbatim section, batched: on corrupt input the significance
+	// count can exceed the word width (the bit-by-bit coder silently
+	// dropped shifts ≥ 32), so read in ≤32-bit chunks and let the same
+	// shifts drop the same bits.
 	k := 0
-	for ; k < *n && *budget > 0; k++ {
-		b, err := br.ReadBit()
+	m := *n
+	if m > *budget {
+		m = *budget
+	}
+	for rem := m; rem > 0; {
+		step := uint(rem)
+		if step > 32 {
+			step = 32
+		}
+		v, err := br.ReadBits(step)
 		if err != nil {
 			return 0, err
 		}
-		x |= uint32(b) << uint(k)
-		*budget--
+		if k < 32 {
+			x |= (bits.Reverse32(uint32(v)) >> (32 - step)) << uint(k)
+		}
+		k += int(step)
+		rem -= int(step)
 	}
+	*budget -= m
 	newN := *n
 	for k < blockValues && *budget > 0 {
 		test, err := br.ReadBit()
@@ -290,18 +360,36 @@ func decodePlane(br *bitstream.Reader, n, budget *int) (uint32, error) {
 		if test == 0 {
 			break
 		}
+		// Unary walk to the next significant coefficient, batched: peek
+		// a window, count the zero prefix with Len64, consume it whole.
 		for *budget > 0 {
-			b, err := br.ReadBit()
-			if err != nil {
-				return 0, err
+			w := uint(*budget)
+			if w > 56 {
+				w = 56
 			}
-			*budget--
-			x |= uint32(b) << uint(k)
-			k++
-			if b == 1 {
-				newN = k
-				break
+			if avail := uint(br.Remaining()); avail < w {
+				w = avail
 			}
+			if w == 0 {
+				return 0, bitstream.ErrOutOfBits
+			}
+			p := br.Peek(w)
+			if p == 0 {
+				// All zeros: the run continues past this window.
+				br.Consume(w)
+				*budget -= int(w)
+				k += int(w)
+				continue
+			}
+			zeros := int(w) - bits.Len64(p)
+			br.Consume(uint(zeros) + 1)
+			*budget -= zeros + 1
+			if k+zeros < 32 {
+				x |= 1 << uint(k+zeros)
+			}
+			k += zeros + 1
+			newN = k
+			break
 		}
 	}
 	if newN > *n {
