@@ -18,6 +18,18 @@ go build ./...
 GOOS=linux GOARCH=386 go build ./...
 go test -race ./internal/...
 
+# The zero-allocation gates skip themselves under -race (the race
+# runtime allocates), so run them again without it: the entropy
+# backend's steady-state pool discipline and the pooled registry round
+# trips must both report 0 allocs/op.
+go test ./internal/entropy/ -run TestZeroAllocSteadyState -count=1
+go test ./internal/codec/ -run TestRoundTripIntoAllocs -count=1
+
+# Stage-pipeline conformance: every registered family must round-trip
+# both bare and through the "+fse" entropy stage, with the staged
+# decode bit-identical to the unstaged one (and exact for lossless).
+go test ./internal/codec/ -run 'TestStagedFamilies|TestLosslessExact|TestConformanceRoundTrip' -count=1
+
 # Host-kernel bench smoke: exercises the fast/dense measurement path,
 # the registry-codec round-trip benches, and the v2 stream-engine
 # throughput matrix (serial + pipelined writer) end to end, leaving a

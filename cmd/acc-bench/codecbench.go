@@ -23,6 +23,8 @@ type codecBenchEntry struct {
 	MBPerS          float64 `json:"mb_per_s"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
+	PayloadBytes    int     `json:"payload_bytes"`
+	Ratio           float64 `json:"ratio"` // uncompressed bytes / payload bytes
 	SeedNsPerOp     float64 `json:"seed_ns_per_op,omitempty"`
 	SeedAllocsPerOp int64   `json:"seed_allocs_per_op,omitempty"`
 	SpeedupVsSeed   float64 `json:"speedup_vs_seed,omitempty"`
@@ -64,8 +66,10 @@ func measureCodecCase(spec string) (codecBenchEntry, error) {
 	r := tensor.NewRNG(1)
 	x := r.Uniform(0, 1, codecBenchShape...)
 	dst := tensor.New(codecBenchShape...)
-	// Warm the pools so steady state is what's measured.
-	if _, err := codec.RoundTripInto(c, dst, x); err != nil {
+	// Warm the pools so steady state is what's measured; the warm-up's
+	// reported payload size also yields the compression ratio.
+	payload, err := codec.RoundTripInto(c, dst, x)
+	if err != nil {
 		return codecBenchEntry{}, fmt.Errorf("codecbench %s: %w", spec, err)
 	}
 	res := testing.Benchmark(func(b *testing.B) {
@@ -78,13 +82,15 @@ func measureCodecCase(spec string) (codecBenchEntry, error) {
 		}
 	})
 	e := codecBenchEntry{
-		Spec:        spec,
-		Shape:       codecBenchShape,
-		Iterations:  res.N,
-		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-		MBPerS:      float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
-		AllocsPerOp: res.AllocsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
+		Spec:         spec,
+		Shape:        codecBenchShape,
+		Iterations:   res.N,
+		NsPerOp:      float64(res.T.Nanoseconds()) / float64(res.N),
+		MBPerS:       float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6,
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		PayloadBytes: payload,
+		Ratio:        float64(x.SizeBytes()) / float64(payload),
 	}
 	if seed, ok := codecSeedBaselines[spec]; ok && e.NsPerOp > 0 {
 		e.SeedNsPerOp = seed.ns
@@ -138,7 +144,16 @@ func measureStreamCase(spec string, workers, records int, shape []int) (streamBe
 // runCodecBench measures the registry codecs and the stream engine,
 // appending to the hostbench output file.
 func runCodecBench(out *hostBenchFile, full bool, gomaxprocs int) error {
-	for _, spec := range []string{"zfp:rate=8", "jpegq:q=50", "sz:eb=1e-3"} {
+	// Each base spec is paired with its "+fse" staged variant so the
+	// JSON artifact records what the shared entropy stage buys (or
+	// costs) per family at the same measurement point.
+	for _, spec := range []string{
+		"zfp:rate=8", "zfp:rate=8+fse",
+		"jpegq:q=50", "jpegq:q=50+fse",
+		"sz:eb=1e-3", "sz:eb=1e-3+fse",
+		"dctc:cf=4", "dctc:cf=4+fse",
+		"lossless:bg=4", "lossless:bg=4+fse",
+	} {
 		e, err := measureCodecCase(spec)
 		if err != nil {
 			return err
@@ -147,8 +162,8 @@ func runCodecBench(out *hostBenchFile, full bool, gomaxprocs int) error {
 		if e.SpeedupVsSeed > 0 {
 			extra = fmt.Sprintf("  %5.1fx vs seed", e.SpeedupVsSeed)
 		}
-		fmt.Printf("%-44s %12.0f ns/op %10.1f MB/s %6d allocs/op%s\n",
-			"codec/roundtrip/"+e.Spec, e.NsPerOp, e.MBPerS, e.AllocsPerOp, extra)
+		fmt.Printf("%-44s %12.0f ns/op %10.1f MB/s %6d allocs/op  ratio %.2f%s\n",
+			"codec/roundtrip/"+e.Spec, e.NsPerOp, e.MBPerS, e.AllocsPerOp, e.Ratio, extra)
 		out.Codecs = append(out.Codecs, e)
 	}
 

@@ -3,9 +3,12 @@
 // decompress with no out-of-band configuration, and round-trips
 // batches on the host or on any of the simulated accelerators.
 //
-// The codec is picked by a spec string ("family:key=val,flag"):
+// The codec is picked by a spec string ("family:key=val,flag" with an
+// optional "+stage" chain appended — "+fse" runs the shared entropy
+// backend over the payload):
 //
 //	dctc:cf=4,s=2,sg   zfp:rate=8   sz:eb=1e-3   jpegq:q=50
+//	dctc:cf=4+fse      lossless:bg=4+fse
 //
 // Input format for compress/roundtrip: raw little-endian float32
 // values of a [BD, C, n, n] batch (dimensions given by flags).
@@ -193,6 +196,8 @@ func decompressStream(in, out string) {
 
 // newCodec resolves the codec: an explicit -codec spec wins; otherwise
 // the legacy DCT+Chop flags are mapped onto an equivalent dctc spec.
+// A bad spec dies with the library's diagnosis (which names the
+// offending token and the valid alternatives) plus the full grammar.
 func newCodec(spec string, cf int, sg bool, serial int, transform string) codec.Codec {
 	if spec == "" {
 		spec = fmt.Sprintf("dctc:cf=%d", cf)
@@ -207,8 +212,32 @@ func newCodec(spec string, cf int, sg bool, serial int, transform string) codec.
 		}
 	}
 	c, err := codec.New(spec)
-	check(err)
+	if err != nil {
+		check(fmt.Errorf("%w\n%s", err, specHelp(spec)))
+	}
 	return c
+}
+
+// specHelp renders the spec grammar with the live registry contents:
+// every family with its valid option keys, and the registered stages.
+func specHelp(spec string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  spec grammar: family[:key=val|flag,...][+stage...], e.g. %q or %q\n", "dctc:cf=4,s=2+fse", "lossless:bg=4+fse")
+	b.WriteString("  families:\n")
+	for _, fam := range codec.Families() {
+		keys, err := codec.ValidKeys(fam)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-10s keys %v\n", fam, keys)
+	}
+	fmt.Fprintf(&b, "  stages: %v (appended with '+', no options)", codec.StageNames())
+	if family, _, ok := strings.Cut(spec, ":"); ok {
+		if keys, err := codec.ValidKeys(family); err == nil {
+			fmt.Fprintf(&b, "\n  %s accepts: %v", family, keys)
+		}
+	}
+	return b.String()
 }
 
 func readTensor(path string, bd, ch, n int) *tensor.Tensor {

@@ -91,7 +91,9 @@ type fastRoundTripperInto interface {
 }
 
 // slowRoundTripInto is the fallback for backends (or shapes) without a
-// pooled in-place path: serialize, decode, copy.
+// pooled in-place path: serialize, decode, copy. Backends call it from
+// their fast paths, which only run on an empty stage chain; staged
+// codecs go through stagedRoundTripInto instead.
 func slowRoundTripInto(b backend, dst, x *tensor.Tensor) (int, error) {
 	ctx := context.Background()
 	payload, err := b.encode(ctx, x)
@@ -99,6 +101,22 @@ func slowRoundTripInto(b backend, dst, x *tensor.Tensor) (int, error) {
 		return 0, err
 	}
 	out, err := b.decode(ctx, payload, x.Shape())
+	if err != nil {
+		return 0, err
+	}
+	copy(dst.Data(), out.Data())
+	return len(payload), nil
+}
+
+// stagedRoundTripInto round-trips through the full stage chain; the
+// reported size is the staged (post-chain) payload size.
+func stagedRoundTripInto(c *codecImpl, dst, x *tensor.Tensor) (int, error) {
+	ctx := context.Background()
+	payload, err := c.encodePayload(ctx, x)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.decodePayload(ctx, payload, x.Shape())
 	if err != nil {
 		return 0, err
 	}
@@ -118,16 +136,20 @@ func RoundTripInto(c Codec, dst, x *tensor.Tensor) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("codec: %T is not a registry codec", c)
 	}
-	if fast, ok := impl.b.(fastRoundTripperInto); ok {
+	if fast, ok := impl.b.(fastRoundTripperInto); ok && len(impl.chain) == 0 {
 		return fast.fastRoundTripInto(dst, x)
 	}
-	return slowRoundTripInto(impl.b, dst, x)
+	return stagedRoundTripInto(impl, dst, x)
 }
 
-// codecImpl frames a backend behind the Codec interface.
+// codecImpl frames a backend plus its stage chain behind the Codec
+// interface. The chain is applied to the backend's payload in order on
+// encode and in reverse on decode (see stage.go); an empty chain keeps
+// every path — and every wire byte — identical to the pre-stage codec.
 type codecImpl struct {
-	spec string
-	b    backend
+	spec  string
+	b     backend
+	chain []Stage
 }
 
 func (c *codecImpl) Name() string   { return c.b.name() }
@@ -139,7 +161,7 @@ func (c *codecImpl) Compress(x *tensor.Tensor) ([]byte, error) {
 }
 
 func (c *codecImpl) CompressCtx(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
-	payload, err := c.b.encode(ctx, x)
+	payload, err := c.encodePayload(ctx, x)
 	if err != nil {
 		return nil, err
 	}
@@ -171,27 +193,30 @@ func (c *codecImpl) DecompressCtx(ctx context.Context, data []byte) (*tensor.Ten
 	}
 	// Honor the container's own options (self-describing wins over the
 	// instance's): rebuild when the specs differ.
-	b := c.b
+	impl := c
 	if hdr.Spec != c.spec {
 		other, err := New(hdr.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("codec: rebuilding from container spec %q: %w", hdr.Spec, err)
 		}
-		b = other.(*codecImpl).b
+		impl = other.(*codecImpl)
 	}
-	return b.decode(ctx, payload, hdr.Shape)
+	return impl.decodePayload(ctx, payload, hdr.Shape)
 }
 
 func (c *codecImpl) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
-	if fast, ok := c.b.(fastRoundTripper); ok {
+	// The in-place fast paths skip payload serialization, which a stage
+	// chain requires: staged codecs always take the serialize path, and
+	// the reported size is the staged (post-chain) payload size.
+	if fast, ok := c.b.(fastRoundTripper); ok && len(c.chain) == 0 {
 		return fast.fastRoundTrip(x)
 	}
 	ctx := context.Background()
-	payload, err := c.b.encode(ctx, x)
+	payload, err := c.encodePayload(ctx, x)
 	if err != nil {
 		return nil, 0, err
 	}
-	out, err := c.b.decode(ctx, payload, x.Shape())
+	out, err := c.decodePayload(ctx, payload, x.Shape())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -249,20 +274,55 @@ func New(spec string) (Codec, error) {
 	if err := opts.finish(); err != nil {
 		return nil, err
 	}
-	return &codecImpl{spec: canonicalSpec(parsed.Family, b), b: b}, nil
+	chain := make([]Stage, 0, len(parsed.Stages))
+	for _, name := range parsed.Stages {
+		st, err := newStage(name)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, st)
+	}
+	return &codecImpl{spec: canonicalSpec(parsed.Family, b, chain), b: b, chain: chain}, nil
+}
+
+// ValidKeys reports the option keys a family's builder consults — the
+// key list CLI error messages print next to a rejected spec. It runs
+// the builder over an empty option set and collects what it read.
+func ValidKeys(family string) ([]string, error) {
+	registryMu.RLock()
+	build, ok := registry[family]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown family %q (registered: %v)", family, Families())
+	}
+	opts := Spec{Family: family, kv: map[string]string{}}.options()
+	if _, err := build(opts); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(opts.used))
+	for k := range opts.used {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // canonicalizer lets a backend print its canonical option string.
 type canonicalizer interface{ canonical() string }
 
-// canonicalSpec renders the spec that exactly rebuilds b.
-func canonicalSpec(family string, b backend) string {
+// canonicalSpec renders the spec that exactly rebuilds b and its stage
+// chain.
+func canonicalSpec(family string, b backend, chain []Stage) string {
+	s := family
 	if c, ok := b.(canonicalizer); ok {
 		if opts := c.canonical(); opts != "" {
-			return family + ":" + opts
+			s = family + ":" + opts
 		}
 	}
-	return family
+	for _, st := range chain {
+		s += "+" + st.Spec()
+	}
+	return s
 }
 
 // Decode reads one container from r and reconstructs its tensor, with
@@ -284,7 +344,7 @@ func DecodeCtx(ctx context.Context, r io.Reader) (*tensor.Tensor, Codec, error) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("codec: container spec %q: %w", hdr.Spec, err)
 	}
-	out, err := c.(*codecImpl).b.decode(ctx, payload, hdr.Shape)
+	out, err := c.(*codecImpl).decodePayload(ctx, payload, hdr.Shape)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -311,7 +371,7 @@ func DecodeBytesCtx(ctx context.Context, data []byte) (*tensor.Tensor, Codec, er
 	if err != nil {
 		return nil, nil, fmt.Errorf("codec: container spec %q: %w", hdr.Spec, err)
 	}
-	out, err := c.(*codecImpl).b.decode(ctx, payload, hdr.Shape)
+	out, err := c.(*codecImpl).decodePayload(ctx, payload, hdr.Shape)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -26,6 +26,12 @@ var conformanceSpecs = []struct {
 	{"zfp:rate=8", 30, 0},
 	{"sz:eb=1e-3", 40, 1e-3},
 	{"jpegq:q=50", 20, 0},
+	// Staged variants: the entropy stage must be error-transparent, so
+	// each inherits its base spec's floors.
+	{"dctc:cf=4+fse", 20, 0},
+	{"zfp:rate=8+fse", 30, 0},
+	{"sz:eb=1e-3+fse", 40, 1e-3},
+	{"jpegq:q=50+fse", 20, 0},
 }
 
 // conformanceBatch builds the deterministic smooth [2,3,16,16] batch

@@ -27,6 +27,14 @@ import (
 const (
 	containerMagic   = 0x46434341 // "ACCF" on disk
 	containerVersion = 1
+	// containerVersionStaged marks a container whose spec carries a
+	// stage chain ("family:…+stage"): the layout is identical to v1, but
+	// pre-stage readers must fail on the version instead of handing a
+	// staged payload to a family decoder. (Version 2 is the record
+	// stream; see stream.go.) Unstaged specs keep writing version 1, so
+	// their bytes — and the golden recordings pinning them — are
+	// unchanged.
+	containerVersionStaged = 3
 
 	// maxSpecLen bounds the spec string a header may claim.
 	maxSpecLen = 256
@@ -91,9 +99,13 @@ func WriteContainer(w io.Writer, spec string, shape []int, payload []byte) (int6
 	if err := validateFrame(spec, shape, len(payload)); err != nil {
 		return 0, err
 	}
+	version := uint16(containerVersion)
+	if specHasStages(spec) {
+		version = containerVersionStaged
+	}
 	buf := make([]byte, 0, 16+len(spec)+4*len(shape)+len(payload))
 	buf = binary.LittleEndian.AppendUint32(buf, containerMagic)
-	buf = binary.LittleEndian.AppendUint16(buf, containerVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(spec)))
 	buf = append(buf, spec...)
 	buf = append(buf, byte(len(shape)))
@@ -119,8 +131,9 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	if m := binary.LittleEndian.Uint32(fixed[0:]); m != containerMagic {
 		return hdr, nil, fmt.Errorf("codec: bad magic %#x (not an ACCF container)", m)
 	}
-	if v := binary.LittleEndian.Uint16(fixed[4:]); v != containerVersion {
-		return hdr, nil, fmt.Errorf("codec: unsupported container version %d", v)
+	version := binary.LittleEndian.Uint16(fixed[4:])
+	if version != containerVersion && version != containerVersionStaged {
+		return hdr, nil, fmt.Errorf("codec: unsupported container version %d", version)
 	}
 	specLen := int(binary.LittleEndian.Uint16(fixed[6:]))
 	if specLen == 0 || specLen > maxSpecLen {
@@ -131,6 +144,12 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 		return hdr, nil, fmt.Errorf("codec: reading spec: %w", err)
 	}
 	hdr.Spec = string(spec)
+	// The version byte and the spec's stage chain must agree: a v1
+	// frame smuggling a staged spec (or the reverse) is a forgery, not
+	// a decodable container.
+	if staged := specHasStages(hdr.Spec); staged != (version == containerVersionStaged) {
+		return hdr, nil, fmt.Errorf("codec: container version %d does not match spec %q", version, hdr.Spec)
+	}
 	rank, err := br.ReadByte()
 	if err != nil {
 		return hdr, nil, fmt.Errorf("codec: reading rank: %w", err)

@@ -1,6 +1,6 @@
-// Package faultinject maps the structural boundaries of ACCF v1
-// containers and v2 streams and generates corrupted variants of a
-// well-formed input at each of them.
+// Package faultinject maps the structural boundaries of ACCF v1/v3
+// containers and v2 streams (staged 'S' records included) and
+// generates corrupted variants of a well-formed input at each of them.
 //
 // The parsers here are deliberately independent of internal/codec: they
 // re-derive every offset from the wire layout documented in
@@ -162,9 +162,35 @@ func planeRegions(c *cursor, prefix string) ([]Region, error) {
 	return regs, nil
 }
 
+// specStaged reports whether a spec string carries a stage chain
+// ("base+stage..."). Re-derived independently of internal/codec: a '+'
+// separates stages only when followed by an ASCII letter, so float
+// option values such as "sz:eb=1e+3" do not count.
+func specStaged(spec string) bool {
+	for i := 0; i < len(spec)-1; i++ {
+		next := spec[i+1]
+		if spec[i] == '+' && (next >= 'a' && next <= 'z' || next >= 'A' && next <= 'Z') {
+			return true
+		}
+	}
+	return false
+}
+
 // payloadRegions scans a codec payload (the family-specific prefix plus
-// the shared plane framing) given the spec string's family.
-func payloadRegions(c *cursor, prefix, spec string) ([]Region, error) {
+// the shared plane framing) given the spec string's family. Staged
+// payloads are opaque entropy-coded bytes with no scannable structure,
+// so they map to a single region.
+func payloadRegions(c *cursor, prefix, spec string, payLen int) ([]Region, error) {
+	if specStaged(spec) {
+		if err := c.need(payLen, prefix+" staged payload"); err != nil {
+			return nil, err
+		}
+		c.off += payLen
+		if payLen == 0 {
+			return nil, nil
+		}
+		return []Region{region(prefix+"staged", c.off, payLen)}, nil
+	}
 	family, _, _ := strings.Cut(spec, ":")
 	var regs []Region
 	switch family {
@@ -191,6 +217,16 @@ func payloadRegions(c *cursor, prefix, spec string) ([]Region, error) {
 		regs = append(regs, region(prefix+"mode", c.off, 1))
 	case "jpegq":
 		// No prefix: the plane framing starts immediately.
+	case "lossless":
+		// Raw byte-group lanes, no framing at all: one opaque region.
+		if err := c.need(payLen, prefix+" lossless payload"); err != nil {
+			return nil, err
+		}
+		c.off += payLen
+		if payLen == 0 {
+			return nil, nil
+		}
+		return []Region{region(prefix+"lanes", c.off, payLen)}, nil
 	default:
 		return nil, fmt.Errorf("faultinject: unknown codec family %q", family)
 	}
@@ -201,9 +237,10 @@ func payloadRegions(c *cursor, prefix, spec string) ([]Region, error) {
 	return append(regs, planes...), nil
 }
 
-// V1Regions parses an ACCF v1 container (including the payload's
-// codec-level framing) and returns every structural region, leaving a
-// trailing zero-length "eof" boundary for insertion faults.
+// V1Regions parses an ACCF v1 or v3 container (including the payload's
+// codec-level framing; v3 staged payloads are one opaque region) and
+// returns every structural region, leaving a trailing zero-length
+// "eof" boundary for insertion faults.
 func V1Regions(data []byte) ([]Region, error) {
 	c := &cursor{data: data}
 	magic, err := c.u32("magic")
@@ -218,8 +255,8 @@ func V1Regions(data []byte) ([]Region, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != 1 {
-		return nil, fmt.Errorf("faultinject: container version %d, want 1", ver)
+	if ver != 1 && ver != 3 {
+		return nil, fmt.Errorf("faultinject: container version %d, want 1 or 3", ver)
 	}
 	regs = append(regs, region("version", c.off, 2))
 	specLen, err := c.u16("spec length")
@@ -253,8 +290,12 @@ func V1Regions(data []byte) ([]Region, error) {
 	}
 	regs = append(regs, region("paycrc", c.off, 4))
 
+	if staged := specStaged(spec); staged != (ver == 3) {
+		return nil, fmt.Errorf("faultinject: container version %d does not match spec %q", ver, spec)
+	}
+
 	payStart := c.off
-	pregs, err := payloadRegions(c, "payload.", spec)
+	pregs, err := payloadRegions(c, "payload.", spec, payLen)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +348,7 @@ func V2Regions(data []byte) ([]Region, error) {
 				return nil, fmt.Errorf("faultinject: %d trailing bytes after end marker", len(data)-c.off)
 			}
 			return append(regs, Region{Name: "eof", Off: len(data)}), nil
-		case 0x54: // 'T'
+		case 0x54, 0x53: // 'T' plain, 'S' staged
 		default:
 			return nil, fmt.Errorf("faultinject: bad record marker %#x at offset %d", marker, c.off-1)
 		}
@@ -321,8 +362,12 @@ func V2Regions(data []byte) ([]Region, error) {
 		if err := c.need(specLen, "spec"); err != nil {
 			return nil, err
 		}
+		spec := string(c.data[c.off : c.off+specLen])
 		c.off += specLen
 		regs = append(regs, region(p("spec"), c.off, specLen))
+		if staged := specStaged(spec); staged != (marker == 0x53) {
+			return nil, fmt.Errorf("faultinject: record marker %#x does not match spec %q", marker, spec)
+		}
 		rank, err := c.u8("rank")
 		if err != nil {
 			return nil, err

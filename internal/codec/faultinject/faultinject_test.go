@@ -38,6 +38,25 @@ var v1Cases = []struct {
 	{"sz-planar", "sz:eb=1e-3", []int{3, 5, 7}},
 	{"sz-flat", "sz:eb=1e-3", []int{64}},
 	{"jpegq", "jpegq:q=50", []int{1, 2, 8, 8}},
+	{"lossless", "lossless:bg=4", []int{3, 5, 7}},
+	// Staged variants serialize as version-3 containers whose payload is
+	// one opaque entropy-coded region.
+	{"dctc-staged", "dctc:cf=4+fse", []int{1, 2, 16, 16}},
+	{"sz-staged", "sz:eb=1e-3+fse", []int{64}},
+	{"lossless-staged", "lossless:bg=4+fse", []int{3, 5, 7}},
+}
+
+// payloadRegionNames returns the payload-level region names the scan
+// must produce for a spec: staged payloads and lossless lanes are
+// opaque single regions, everything else is plane-framed.
+func payloadRegionNames(spec string) []string {
+	if strings.Contains(spec, "+fse") {
+		return []string{"payload.staged"}
+	}
+	if strings.HasPrefix(spec, "lossless") {
+		return []string{"payload.lanes"}
+	}
+	return []string{"payload.plane-count", "payload.plane-table"}
 }
 
 // decodeV1 runs the container decoder on one mutant, converting any
@@ -78,7 +97,8 @@ func TestV1FaultInjection(t *testing.T) {
 			if err != nil {
 				t.Fatalf("V1Regions: %v", err)
 			}
-			requireRegions(t, regions, "magic", "version", "speclen", "spec", "rank", "dims", "paylen", "paycrc", "payload.plane-count", "payload.plane-table", "eof")
+			want := append([]string{"magic", "version", "speclen", "spec", "rank", "dims", "paylen", "paycrc", "eof"}, payloadRegionNames(tc.spec)...)
+			requireRegions(t, regions, want...)
 			mutants := 0
 			for _, r := range regions {
 				for _, m := range faultinject.Mutate(data, r) {
@@ -133,6 +153,8 @@ func buildStream(t *testing.T, parallel bool) []byte {
 		{"dctc:cf=4", []int{1, 2, 16, 16}},
 		{"zfp:rate=8", []int{100}},
 		{"sz:eb=1e-3", []int{3, 5, 7}},
+		{"dctc:cf=4+fse", []int{1, 2, 16, 16}},
+		{"lossless:bg=4+fse", []int{3, 5, 7}},
 	} {
 		c, err := codec.New(rec.spec)
 		if err != nil {
@@ -194,7 +216,8 @@ func TestV2FaultInjection(t *testing.T) {
 		"header.magic", "header.version", "header.reserved",
 		"rec0.marker", "rec0.speclen", "rec0.spec", "rec0.rank", "rec0.dims", "rec0.paylen", "rec0.crc",
 		"rec0.chunk0.len", "rec0.chunk0.crc", "rec0.chunk0.data",
-		"rec1.marker", "rec2.marker", "end.marker", "eof")
+		"rec1.marker", "rec2.marker", "rec3.marker", "rec4.marker",
+		"end.marker", "eof")
 	mutants := 0
 	for _, r := range regions {
 		for _, m := range faultinject.Mutate(data, r) {
@@ -262,7 +285,7 @@ func TestV2ParallelWriterFraming(t *testing.T) {
 		}
 		records++
 	}
-	if records != 3 {
-		t.Fatalf("read-ahead reader decoded %d records, want 3", records)
+	if records != 5 {
+		t.Fatalf("read-ahead reader decoded %d records, want 5", records)
 	}
 }

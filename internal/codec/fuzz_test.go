@@ -3,9 +3,13 @@ package codec
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
+	"hash/crc32"
 	"io"
+	"strings"
 	"testing"
 
+	"repro/internal/codec/faultinject"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +50,52 @@ func FuzzContainerDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("ACCF"))
 	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 1, 0, 0xFF, 0xFF})
+
+	// Staged (v3) seeds: every family through the "+fse" entropy stage,
+	// plus variants whose entropy block header and normalized-count table
+	// are corrupted *below* a valid container frame (CRC recomputed via
+	// WriteContainer), so the fuzzer starts inside the entropy parser
+	// instead of bouncing off the container CRC.
+	for _, spec := range []string{"dctc:cf=4+fse", "zfp:rate=8+fse", "sz:eb=1e-2+fse", "jpegq:q=50+fse", "lossless:bg=4+fse", "lossless:bg=1"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := c.Compress(x)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-1])
+		if !specHasStages(spec) {
+			continue
+		}
+		regs, err := faultinject.V1Regions(data)
+		if err != nil {
+			f.Fatal(err)
+		}
+		hdr, payload, err := ReadContainer(bytes.NewReader(data))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, r := range regs {
+			if r.Name != "payload.staged" {
+				continue
+			}
+			// The entropy stream leads with the block header (mode byte,
+			// raw length) and the FSE table (tableLog, nsym, counts):
+			// corrupt each of the first bytes in turn.
+			for off := 0; off < len(payload) && off < 12; off++ {
+				mut := append([]byte(nil), payload...)
+				mut[off] ^= 0xFF
+				var buf bytes.Buffer
+				if _, err := WriteContainer(&buf, hdr.Spec, hdr.Shape, mut); err != nil {
+					f.Fatal(err)
+				}
+				f.Add(buf.Bytes())
+			}
+		}
+	}
 
 	// Plane-framed-layer seeds: containers whose codec payload is
 	// structurally damaged below the (valid) container framing, steering
@@ -194,6 +244,43 @@ func FuzzStreamDecode(f *testing.F) {
 	pflip := append([]byte(nil), par...)
 	pflip[2*len(pflip)/3] ^= 0x04
 	f.Add(pflip)
+
+	// Staged ('S'-record) seeds: a stream mixing staged and plain
+	// records through both writer paths, plus a variant whose first
+	// staged chunk has its entropy table corrupted with the chunk CRC
+	// recomputed, so corruption reaches the entropy parser rather than
+	// the CRC check.
+	var stb bytes.Buffer
+	stw := NewStreamWriter(&stb)
+	stw.SetChunkSize(4 << 10)
+	for _, spec := range []string{"dctc:cf=4+fse", "sz:eb=1e-2", "lossless:bg=4+fse"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := stw.WriteTensor(context.Background(), c, x); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := stw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	staged := stb.Bytes()
+	f.Add(staged)
+	f.Add(staged[:len(staged)/2])
+	if regs, err := faultinject.V2Regions(staged); err != nil {
+		f.Fatal(err)
+	} else {
+		for _, r := range regs {
+			if !strings.HasSuffix(r.Name, "chunk0.data") {
+				continue
+			}
+			mut := append([]byte(nil), staged...)
+			mut[r.Off] ^= 0xFF // block header / FSE table byte
+			binary.LittleEndian.PutUint32(mut[r.Off-4:], crc32.ChecksumIEEE(mut[r.Off:r.Off+r.Len]))
+			f.Add(mut)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sr, err := NewStreamReader(bytes.NewReader(data))

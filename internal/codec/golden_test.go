@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"io"
 	"os"
 	"testing"
 
@@ -85,11 +86,14 @@ func TestRoundTripIntoMatchesSerializePath(t *testing.T) {
 				t.Fatal(err)
 			}
 			impl := c.(*codecImpl)
-			payload, err := impl.b.encode(context.Background(), x)
+			// encodePayload/decodePayload run the stage chain (if any) on
+			// top of the backend, so staged specs compare against the
+			// bytes that actually hit the wire.
+			payload, err := impl.encodePayload(context.Background(), x)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ref, err := impl.b.decode(context.Background(), payload, x.Shape())
+			ref, err := impl.decodePayload(context.Background(), payload, x.Shape())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,5 +150,128 @@ func TestRoundTripIntoAllocs(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("%s: RoundTripInto allocates %v/op, want 0", spec, allocs)
 		}
+	}
+}
+
+// goldenStreamRecords is the fixed record sequence of the recorded v2
+// stream: every family, both plane framings, all unstaged (so the
+// stream predates — and must survive — the v3 stage-chain refactor).
+var goldenStreamRecords = []struct {
+	Spec  string `json:"spec"`
+	Shape []int  `json:"shape"`
+}{
+	{"dctc:cf=4", []int{1, 2, 16, 16}},
+	{"zfp:rate=8", []int{100}},
+	{"sz:eb=0.001", []int{3, 5, 7}}, // canonical form of eb=1e-3
+	{"jpegq:q=50", []int{1, 2, 8, 8}},
+}
+
+// writeGoldenStream re-encodes the fixed record sequence with today's
+// writer (serial path, 4 KiB chunks — the recording configuration).
+func writeGoldenStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	sw.SetChunkSize(4 << 10)
+	for _, rec := range goldenStreamRecords {
+		c, err := New(rec.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteTensor(context.Background(), c, goldenContainerTensor(rec.Shape...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenStream holds unstaged v2 stream output byte-identical to
+// the recorded fixture across the v3 stage-chain refactor, and requires
+// the (v3-capable) reader to still decode every recorded record with
+// its 'T' marker intact. Regenerate with GOLDEN_UPDATE=1 only for a
+// deliberate, documented format change.
+func TestGoldenStream(t *testing.T) {
+	const path = "testdata/golden_v2_stream.json"
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		blob, err := json.MarshalIndent(struct {
+			Records any    `json:"records"`
+			Hex     string `json:"hex"`
+		}{goldenStreamRecords, hex.EncodeToString(writeGoldenStream(t))}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixture struct {
+		Records []struct {
+			Spec  string `json:"spec"`
+			Shape []int  `json:"shape"`
+		} `json:"records"`
+		Hex string `json:"hex"`
+	}
+	if err := json.Unmarshal(raw, &fixture); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hex.DecodeString(fixture.Hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := writeGoldenStream(t); !bytes.Equal(got, want) {
+		t.Fatalf("stream bytes diverge from recording (len %d vs %d)", len(got), len(want))
+	}
+	if len(fixture.Records) != len(goldenStreamRecords) {
+		t.Fatalf("fixture has %d records, test expects %d", len(fixture.Records), len(goldenStreamRecords))
+	}
+
+	sr, err := NewStreamReader(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range fixture.Records {
+		hdr, err := sr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if hdr.Spec != rec.Spec {
+			t.Fatalf("record %d: spec %q, recorded %q", i, hdr.Spec, rec.Spec)
+		}
+		x := goldenContainerTensor(rec.Shape...)
+		out, err := sr.Decode(context.Background())
+		if err != nil {
+			t.Fatalf("record %d (%s): %v", i, rec.Spec, err)
+		}
+		if !out.SameShape(x) {
+			t.Fatalf("record %d: shape %v, recorded %v", i, out.Shape(), rec.Shape)
+		}
+		// The recorded payload must decode to exactly what decoding a
+		// fresh container of the same spec produces (decode paths are
+		// deterministic).
+		c, err := New(rec.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(ref) {
+			t.Errorf("record %d (%s): stream decode diverges from container decode", i, rec.Spec)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("after last record: %v, want EOF", err)
 	}
 }

@@ -1,0 +1,97 @@
+package codec
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// losslessBackend is the exact (bit-preserving) codec family for
+// tensors that cannot tolerate loss — checkpoints, optimizer state,
+// weights shipped for resumption. Spec: "lossless:bg=4" with byte
+// groups bg ∈ {1, 2, 4}.
+//
+// It performs no quantization at all: the payload is the float32
+// stream's little-endian bytes, transposed into bg byte-group lanes
+// (bg=4: lane k holds byte k of every value). Grouping same-significance
+// bytes — in the spirit of ZipNN's exponent/mantissa split — turns the
+// highly skewed sign+exponent byte and the near-uniform mantissa bytes
+// into separate runs, which is exactly the layout the "+fse" entropy
+// stage compresses well; "lossless:bg=4+fse" is the intended full spec.
+// Alone, the family is a ratio-1 identity with exact round-trip.
+type losslessBackend struct {
+	bg int
+}
+
+func init() {
+	register("lossless", func(o *Options) (backend, error) {
+		bg := o.Int("bg", 4)
+		if bg != 1 && bg != 2 && bg != 4 {
+			return nil, fmt.Errorf("codec: lossless: invalid value %d for key %q (want 1, 2, or 4)", bg, "bg")
+		}
+		return &losslessBackend{bg: bg}, nil
+	})
+}
+
+func (b *losslessBackend) name() string   { return "lossless" }
+func (b *losslessBackend) ratio() float64 { return 1 }
+
+func (b *losslessBackend) canonical() string {
+	return fmt.Sprintf("bg=%d", b.bg)
+}
+
+func (b *losslessBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
+	if x.Len() == 0 {
+		return nil, fmt.Errorf("lossless: empty tensor")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	elems := x.Len()
+	data := x.Data()
+	out := make([]byte, 4*elems)
+	group := 4 / b.bg
+	for lane := 0; lane < b.bg; lane++ {
+		dst := out[lane*group*elems:]
+		shift := uint(8 * lane * group)
+		for i, v := range data {
+			bits := math.Float32bits(v) >> shift
+			for k := 0; k < group; k++ {
+				dst[i*group+k] = byte(bits >> uint(8*k))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (b *losslessBackend) decode(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	if len(payload) != 4*elems {
+		return nil, fmt.Errorf("lossless: payload is %d bytes, shape %v needs exactly %d", len(payload), shape, 4*elems)
+	}
+	out := tensor.New(shape...)
+	data := out.Data()
+	group := 4 / b.bg
+	// Element-outer assembly: every value is reconstructed as a uint32
+	// and stored exactly once, so arbitrary bit patterns (NaN payloads
+	// included) survive bit-for-bit.
+	for i := range data {
+		var bits uint32
+		for lane := 0; lane < b.bg; lane++ {
+			src := payload[lane*group*elems:]
+			for k := 0; k < group; k++ {
+				bits |= uint32(src[i*group+k]) << uint(8*(lane*group+k))
+			}
+		}
+		data[i] = math.Float32frombits(bits)
+	}
+	return out, nil
+}

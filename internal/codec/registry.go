@@ -7,22 +7,33 @@ import (
 	"strings"
 )
 
-// Spec is a parsed codec spec string: "family:key=val,key=val,flag".
-// Bare keys (no '=') are boolean flags.
+// Spec is a parsed codec spec string:
+// "family:key=val,key=val,flag+stage+stage". Bare keys (no '=') are
+// boolean flags; "+name" suffixes (a '+' followed by a letter, so
+// numeric values like eb=1e+3 are safe) name pipeline stages applied to
+// the encoded payload in order.
 type Spec struct {
 	Family string
+	Stages []string
 	kv     map[string]string
 }
 
-// ParseSpec splits a spec string into family and options. It rejects
-// empty families, empty keys, and duplicate keys, naming the offender.
+// ParseSpec splits a spec string into family, options, and stage
+// suffixes. It rejects empty families, empty keys, and duplicate keys,
+// naming the offender.
 func ParseSpec(s string) (Spec, error) {
-	family, rest, hasOpts := strings.Cut(strings.TrimSpace(s), ":")
+	base, stages := splitSpecStages(strings.TrimSpace(s))
+	for _, st := range stages {
+		if strings.TrimSpace(st) == "" {
+			return Spec{}, fmt.Errorf("codec: empty stage name in %q", s)
+		}
+	}
+	family, rest, hasOpts := strings.Cut(base, ":")
 	family = strings.TrimSpace(family)
 	if family == "" {
 		return Spec{}, fmt.Errorf("codec: empty spec string")
 	}
-	spec := Spec{Family: family, kv: map[string]string{}}
+	spec := Spec{Family: family, Stages: stages, kv: map[string]string{}}
 	if !hasOpts {
 		return spec, nil
 	}

@@ -79,7 +79,7 @@ func TestCanonicalSpecRebuilds(t *testing.T) {
 
 func TestFamilies(t *testing.T) {
 	fams := Families()
-	want := []string{"dctc", "jpegq", "sz", "zfp"}
+	want := []string{"dctc", "jpegq", "lossless", "sz", "zfp"}
 	if len(fams) != len(want) {
 		t.Fatalf("families %v, want %v", fams, want)
 	}

@@ -1,0 +1,212 @@
+package codec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/entropy"
+	"repro/internal/tensor"
+)
+
+// This file is the stage layer of the codec pipeline: composable
+// payload transforms that ride behind any codec family. A spec string
+// names a family plus zero or more stage suffixes —
+//
+//	dctc:cf=4+fse      DCT+Chop, then the shared entropy backend
+//	lossless:bg=4+fse  byte-group transpose, then entropy
+//
+// — and the framing layer applies the stages in order on encode
+// (payload → stage 1 → … → stage N) and in reverse on decode. Stages
+// see opaque byte payloads only: they compose with every family, and a
+// new family composes with every stage, without either knowing the
+// other exists.
+//
+// On the wire, a staged spec rides in the same header field as before
+// (the spec string IS the stage chain), and staged frames are marked so
+// pre-stage readers fail cleanly instead of feeding an entropy-coded
+// payload to a family decoder: v1 containers become version 3, and v2
+// stream records use the 'S' marker in place of 'T'. Unstaged output is
+// byte-identical to pre-stage writers.
+
+// Stage is one composable payload transform. Implementations must be
+// safe for concurrent use (the stream engines run them on worker
+// pools) and are expected to use pooled scratch so steady-state
+// encode/decode stays allocation-light.
+type Stage interface {
+	// Name is the stage's registry name ("fse").
+	Name() string
+	// Spec is the canonical spec fragment that rebuilds the stage.
+	Spec() string
+	// Forward transforms a payload on the encode path. It must not
+	// retain or modify payload.
+	Forward(ctx context.Context, payload []byte) ([]byte, error)
+	// Inverse undoes Forward on the decode path. sizeHint is an upper
+	// bound on the plausible output size for the tensor being decoded;
+	// stages whose inverse can expand must fail rather than exceed it,
+	// so corrupted frames die before the allocation, not after.
+	Inverse(ctx context.Context, payload []byte, sizeHint int) ([]byte, error)
+}
+
+var (
+	stageMu       sync.RWMutex
+	stageRegistry = map[string]func() (Stage, error){}
+)
+
+// registerStage installs a stage builder; stages self-register in init.
+func registerStage(name string, build func() (Stage, error)) {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	if _, dup := stageRegistry[name]; dup {
+		panic(fmt.Sprintf("codec: duplicate stage %q", name))
+	}
+	stageRegistry[name] = build
+}
+
+// StageNames lists the registered stage names, sorted.
+func StageNames() []string {
+	stageMu.RLock()
+	defer stageMu.RUnlock()
+	out := make([]string, 0, len(stageRegistry))
+	for n := range stageRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newStage resolves one stage token from a spec's "+" chain.
+func newStage(token string) (Stage, error) {
+	if strings.ContainsAny(token, ":=,") {
+		return nil, fmt.Errorf("codec: stage %q: stages take no options", token)
+	}
+	stageMu.RLock()
+	build, ok := stageRegistry[token]
+	stageMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown stage %q (registered: %v)", token, StageNames())
+	}
+	return build()
+}
+
+// isStageSep reports whether the '+' at s[i] separates a stage suffix.
+// Only a '+' followed by a letter splits, so '+' inside numeric option
+// values ("sz:eb=1e+3", "…=1e+06") stays part of the value.
+func isStageSep(s string, i int) bool {
+	if s[i] != '+' || i+1 >= len(s) {
+		return false
+	}
+	c := s[i+1]
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// splitSpecStages splits a spec string into its family half and stage
+// tokens: "dctc:cf=4+fse" → ("dctc:cf=4", ["fse"]).
+func splitSpecStages(s string) (string, []string) {
+	cut := -1
+	for i := 0; i < len(s); i++ {
+		if isStageSep(s, i) {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return s, nil
+	}
+	base, rest := s[:cut], s[cut+1:]
+	var stages []string
+	start := 0
+	for i := 0; i < len(rest); i++ {
+		if isStageSep(rest, i) {
+			stages = append(stages, rest[start:i])
+			start = i + 1
+		}
+	}
+	return base, append(stages, rest[start:])
+}
+
+// specHasStages reports whether a spec string carries a stage chain —
+// the predicate that picks the staged container version and record
+// marker. It must agree with ParseSpec's grammar, so it shares
+// splitSpecStages rather than searching for '+' directly.
+func specHasStages(spec string) bool {
+	_, stages := splitSpecStages(spec)
+	return len(stages) > 0
+}
+
+// stagedSizeHint bounds the plausible pre-stage payload size for a
+// tensor shape: no family's serialized payload comes near 8 bytes per
+// float32 element, and small tensors get a fixed floor for framing.
+// Stage inverses use it to reject decompression bombs.
+func stagedSizeHint(shape []int) int {
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	hint := 8*elems + (64 << 10)
+	if hint > maxPayload {
+		hint = maxPayload
+	}
+	return hint
+}
+
+// encodePayload runs the family encoder, then each stage forward.
+func (c *codecImpl) encodePayload(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
+	payload, err := c.b.encode(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range c.chain {
+		if payload, err = st.Forward(ctx, payload); err != nil {
+			return nil, fmt.Errorf("codec: stage %s forward: %w", st.Name(), err)
+		}
+	}
+	return payload, nil
+}
+
+// decodePayload runs the stages inverse in reverse order, then the
+// family decoder.
+func (c *codecImpl) decodePayload(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
+	if len(c.chain) > 0 {
+		hint := stagedSizeHint(shape)
+		var err error
+		for i := len(c.chain) - 1; i >= 0; i-- {
+			st := c.chain[i]
+			if payload, err = st.Inverse(ctx, payload, hint); err != nil {
+				return nil, fmt.Errorf("codec: stage %s inverse: %w", st.Name(), err)
+			}
+		}
+	}
+	return c.b.decode(ctx, payload, shape)
+}
+
+// ---------------------------------------------------------------------
+// The fse stage: the shared entropy backend as a payload transform.
+
+// fseStage appends the internal/entropy coder as a final stage. It is
+// stateless — all scratch is pooled inside the entropy package — so one
+// instance serves every codec.
+type fseStage struct{}
+
+func init() {
+	registerStage("fse", func() (Stage, error) { return fseStage{}, nil })
+}
+
+func (fseStage) Name() string { return "fse" }
+func (fseStage) Spec() string { return "fse" }
+
+func (fseStage) Forward(ctx context.Context, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return entropy.Compress(nil, payload), nil
+}
+
+func (fseStage) Inverse(ctx context.Context, payload []byte, sizeHint int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return entropy.DecompressCap(nil, payload, sizeHint)
+}

@@ -26,7 +26,9 @@ import (
 //	  4   2   format version (2)
 //	  6   2   reserved (0)
 //	record, repeated:
-//	  +0  1   marker: 'T' (0x54) tensor record, 'E' (0x45) end of stream
+//	  +0  1   marker: 'T' (0x54) tensor record, 'S' (0x53) staged
+//	          tensor record (spec carries a "+stage" chain), 'E' (0x45)
+//	          end of stream
 //	tensor record, after the marker:
 //	  +0  2   spec length L
 //	  +2  L   codec spec string
@@ -49,6 +51,13 @@ const (
 
 	recTensor = 0x54 // 'T'
 	recEnd    = 0x45 // 'E'
+	// recStaged ('S') frames a tensor record whose spec carries a stage
+	// chain ("family:…+stage"). The record layout after the marker is
+	// identical to 'T'; the distinct marker makes pre-stage readers fail
+	// on "bad record marker" instead of feeding an entropy-coded payload
+	// to a family decoder. Unstaged records keep the 'T' marker, so
+	// pre-stage streams are byte-identical.
+	recStaged = 0x53 // 'S'
 
 	// maxStreamChunk bounds a chunk length a record may claim.
 	maxStreamChunk = 1 << 26
@@ -144,7 +153,7 @@ func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tens
 	if sw.eng != nil {
 		return sw.eng.submit(ctx, impl, shape, x)
 	}
-	payload, err := impl.b.encode(ctx, x)
+	payload, err := impl.encodePayload(ctx, x)
 	if err != nil {
 		return err
 	}
@@ -165,9 +174,13 @@ func (sw *StreamWriter) emitRecord(spec string, shape []int, payload []byte) err
 			return err
 		}
 	}
+	marker := byte(recTensor)
+	if specHasStages(spec) {
+		marker = recStaged
+	}
 	// Record header: marker..payload-length, then its CRC.
 	hdr := make([]byte, 0, 12+len(spec)+4*len(shape))
-	hdr = append(hdr, recTensor)
+	hdr = append(hdr, marker)
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(spec)))
 	hdr = append(hdr, spec...)
 	hdr = append(hdr, byte(len(shape)))
@@ -323,7 +336,7 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 		}
 		sr.err = io.EOF
 		return Header{}, io.EOF
-	case recTensor:
+	case recTensor, recStaged:
 	default:
 		return Header{}, sr.posf("bad record marker %#x", marker)
 	}
@@ -332,7 +345,7 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 	// Accumulate the variable-length header exactly as written so the
 	// CRC can be verified before the fields are trusted.
 	raw := make([]byte, 3, 64)
-	raw[0] = recTensor
+	raw[0] = marker
 	if err := sr.readFull(raw[1:3]); err != nil {
 		return Header{}, sr.posw("reading spec length", noEOF(err))
 	}
@@ -362,6 +375,11 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 	}
 
 	hdr := Header{Spec: string(raw[3 : 3+specLen])}
+	// The marker and the spec's stage chain must agree — a 'T' record
+	// smuggling a staged spec (or the reverse) is a forgery.
+	if staged := specHasStages(hdr.Spec); staged != (marker == recStaged) {
+		return Header{}, sr.posf("record marker %#x does not match spec %q", marker, hdr.Spec)
+	}
 	hdr.Shape = make([]int, rank)
 	elems := 1
 	for i := range hdr.Shape {
@@ -403,15 +421,16 @@ func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error
 		}
 		sr.codecs[sr.hdr.Spec] = c
 	}
-	b := c.(*codecImpl).b
+	impl := c.(*codecImpl)
 	var out *tensor.Tensor
-	if sd, ok := b.(streamDecoder); ok {
+	if sd, ok := impl.b.(streamDecoder); ok && len(impl.chain) == 0 {
 		out, err = sd.decodeStream(ctx, sr.cur, sr.hdr.Shape)
 	} else {
-		// No streaming support in this backend: buffer the one record.
+		// Staged records (the chain must invert over the whole payload)
+		// and backends without streaming support buffer the one record.
 		buf := make([]byte, sr.cur.len())
 		if err = sr.cur.readFull(buf); err == nil {
-			out, err = b.decode(ctx, buf, sr.hdr.Shape)
+			out, err = impl.decodePayload(ctx, buf, sr.hdr.Shape)
 		}
 	}
 	if err != nil {

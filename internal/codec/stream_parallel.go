@@ -85,7 +85,7 @@ func (sw *StreamWriter) SetMaxInFlightBytes(n int64) error {
 
 // swJob is one record moving through the pipelined writer.
 type swJob struct {
-	b       backend
+	c       *codecImpl // full codec: workers run the stage chain too
 	ctx     context.Context
 	x       *tensor.Tensor
 	spec    string
@@ -178,7 +178,7 @@ func (e *swEngine) submit(ctx context.Context, impl *codecImpl, shape []int, x *
 		return err
 	}
 	job := &swJob{
-		b:     impl.b,
+		c:     impl,
 		ctx:   ctx,
 		x:     x,
 		spec:  impl.spec,
@@ -266,7 +266,7 @@ func (e *swEngine) worker() {
 			continue
 		default:
 		}
-		payload, err := job.b.encode(job.ctx, job.x)
+		payload, err := job.c.encodePayload(job.ctx, job.x)
 		if err == nil && len(payload) > maxPayload {
 			err = fmt.Errorf("codec: payload %d bytes exceeds limit %d", len(payload), maxPayload)
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package entropy
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package entropy
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-regression gate skips under race, where pool and closure
+// instrumentation allocates.
+const raceEnabled = true
