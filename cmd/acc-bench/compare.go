@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Compare mode: load two BENCH_*.json artifacts (as written by
+// -hostbench) and print a per-config speedup/regression table. Entries
+// are matched by their stable identity — host benchmarks by name,
+// codec round-trips by spec, stream points by spec+workers — so the
+// two files may come from different bench matrices; only the
+// intersection is compared.
+
+type compareRow struct {
+	kind   string
+	key    string
+	oldNs  float64
+	newNs  float64
+	oldAll int64
+	newAll int64
+	hasAll bool
+}
+
+func loadBenchFile(path string) (*hostBenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f hostBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// compareRows pairs up the entries the two files have in common.
+func compareRows(oldF, newF *hostBenchFile) []compareRow {
+	var rows []compareRow
+
+	oldBench := map[string]hostBenchEntry{}
+	for _, e := range oldF.Benchmarks {
+		oldBench[e.Name] = e
+	}
+	for _, e := range newF.Benchmarks {
+		o, ok := oldBench[e.Name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, compareRow{
+			kind: "bench", key: e.Name,
+			oldNs: o.NsPerOp, newNs: e.NsPerOp,
+			oldAll: o.AllocsPerOp, newAll: e.AllocsPerOp, hasAll: true,
+		})
+	}
+
+	oldCodec := map[string]codecBenchEntry{}
+	for _, e := range oldF.Codecs {
+		oldCodec[e.Spec] = e
+	}
+	for _, e := range newF.Codecs {
+		o, ok := oldCodec[e.Spec]
+		if !ok {
+			continue
+		}
+		rows = append(rows, compareRow{
+			kind: "codec", key: "roundtrip/" + e.Spec,
+			oldNs: o.NsPerOp, newNs: e.NsPerOp,
+			oldAll: o.AllocsPerOp, newAll: e.AllocsPerOp, hasAll: true,
+		})
+	}
+
+	oldStream := map[string]streamBenchEntry{}
+	for _, e := range oldF.Stream {
+		oldStream[fmt.Sprintf("%s/workers=%d", e.Spec, e.Workers)] = e
+	}
+	for _, e := range newF.Stream {
+		key := fmt.Sprintf("%s/workers=%d", e.Spec, e.Workers)
+		o, ok := oldStream[key]
+		if !ok || o.RecordsPerS <= 0 || e.RecordsPerS <= 0 {
+			continue
+		}
+		// Stream entries report records/s, not ns/op; invert so the
+		// shared "old/new time ratio" speedup math applies.
+		rows = append(rows, compareRow{
+			kind: "stream", key: "compress/" + key,
+			oldNs: 1e9 / o.RecordsPerS, newNs: 1e9 / e.RecordsPerS,
+		})
+	}
+	return rows
+}
+
+// runCompare prints the table and returns the number of regressions
+// beyond tol (e.g. 0.10 flags anything >10% slower than old).
+func runCompare(oldPath, newPath string, tol float64) (int, error) {
+	oldF, err := loadBenchFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newF, err := loadBenchFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	rows := compareRows(oldF, newF)
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("compare: no common entries between %s (%q) and %s (%q)",
+			oldPath, oldF.Name, newPath, newF.Name)
+	}
+
+	fmt.Printf("comparing %s (%q) -> %s (%q), regression threshold %.0f%%\n",
+		oldPath, oldF.Name, newPath, newF.Name, tol*100)
+	fmt.Printf("%-52s %14s %14s %9s  %s\n", "config", "old ns/op", "new ns/op", "speedup", "")
+	regressions := 0
+	for _, r := range rows {
+		if r.oldNs <= 0 || r.newNs <= 0 {
+			continue
+		}
+		speedup := r.oldNs / r.newNs
+		flag := ""
+		if r.newNs > r.oldNs*(1+tol) {
+			flag = "REGRESSION"
+			regressions++
+		}
+		if r.hasAll && r.newAll > r.oldAll {
+			if flag != "" {
+				flag += ", "
+			}
+			flag += fmt.Sprintf("allocs %d -> %d", r.oldAll, r.newAll)
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %8.2fx  %s\n", r.kind+"/"+r.key, r.oldNs, r.newNs, speedup, flag)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, tol*100)
+	} else {
+		fmt.Println("no regressions beyond threshold")
+	}
+	return regressions, nil
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cpufeat"
 	"repro/internal/tensor"
 )
 
@@ -37,6 +38,7 @@ type hostBenchFile struct {
 	GOOS                string             `json:"goos"`
 	GOARCH              string             `json:"goarch"`
 	GOMAXPROCS          int                `json:"gomaxprocs"`
+	CPUFeatures         string             `json:"cpu_features,omitempty"`
 	RoundTrip512Speedup float64            `json:"roundtrip512_speedup_vs_dense,omitempty"`
 	Benchmarks          []hostBenchEntry   `json:"benchmarks"`
 	Codecs              []codecBenchEntry  `json:"codecs,omitempty"`
@@ -190,10 +192,11 @@ func runHostBench(name, dir, benchtime string, full bool) error {
 		}
 	}
 	out := hostBenchFile{
-		Name:       name,
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Name:        name,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUFeatures: cpufeat.Summary(),
 	}
 	byName := map[string]hostBenchEntry{}
 	for _, c := range hostBenchCases(full) {

@@ -20,6 +20,12 @@
 //	acc-bench -hostbench -benchname seed
 //	acc-bench -hostbench -benchquick -benchname smoke -benchtime 20ms
 //
+// Compare mode (diff two hostbench artifacts; see README for how to
+// read the table):
+//
+//	acc-bench -compare BENCH_old.json BENCH_new.json
+//	acc-bench -compare -fail-on-regress -regress-tol 0.10 old.json new.json
+//
 // Either mode accepts -cpuprofile/-memprofile for pprof output.
 package main
 
@@ -54,6 +60,10 @@ func main() {
 		all     = flag.Bool("all", false, "run every table and figure")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files")
 
+		compare       = flag.Bool("compare", false, "diff two BENCH_*.json files: acc-bench -compare old.json new.json")
+		regressTol    = flag.Float64("regress-tol", 0.10, "fractional slowdown flagged as a regression in -compare")
+		failOnRegress = flag.Bool("fail-on-regress", false, "exit nonzero if -compare finds regressions beyond -regress-tol")
+
 		hostbench  = flag.Bool("hostbench", false, "measure host fast-vs-dense kernels, write BENCH_<name>.json")
 		benchName  = flag.String("benchname", "host", "hostbench output label (BENCH_<name>.json)")
 		benchDir   = flag.String("benchdir", ".", "directory for the hostbench JSON file")
@@ -68,9 +78,25 @@ func main() {
 		*table1, *fig10, *fig11, *fig12, *fig13, *fig14, *fig15, *fig17, *zfp4, *overlap =
 			true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15 || *fig17 || *zfp4 || *overlap || *hostbench) {
+	if !(*table1 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15 || *fig17 || *zfp4 || *overlap || *hostbench || *compare) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: acc-bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *regressTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if regressions > 0 && *failOnRegress {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cpuprofile != "" {

@@ -1,0 +1,11 @@
+//go:build arm64 && !purego
+
+package cpufeat
+
+// detect reports NEON, which is architecturally mandatory on AArch64 —
+// no probing needed. Dispatched arm64 kernels are not yet implemented
+// (the portable path runs everywhere); the flag exists so the dispatch
+// and override plumbing is already wired when they land.
+func detect() Features {
+	return Features{NEON: true}
+}

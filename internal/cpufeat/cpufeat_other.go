@@ -1,0 +1,7 @@
+//go:build (!amd64 && !arm64) || purego
+
+package cpufeat
+
+// detect on architectures without dispatched kernels: everything
+// portable.
+func detect() Features { return Features{} }

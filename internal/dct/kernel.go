@@ -93,8 +93,41 @@ func (k *Kernel) Forward(dst []float32, dstStride int, src []float32, srcStride,
 		panic(fmt.Sprintf("dct: Kernel.Forward scratch %d < %d", len(scratch), n*m))
 	}
 	// Row pass: R = A·F_Lᵀ (n×m). Each source row contracts every b-wide
-	// block segment against the cf retained transform rows.
-	for i := 0; i < n; i++ {
+	// block segment against the cf retained transform rows. The
+	// dispatched kernel handles 8-row bands of 8-wide blocks; everything
+	// else (b != 8, no SIMD) takes the portable loop.
+	if band := fwdBand8; band != nil && b == 8 && nblks > 0 {
+		mask := &laneMask[cf][0]
+		for i := 0; i+8 <= n; i += 8 {
+			band(&scratch[i*m], m, &src[i*srcStride], srcStride, nblks, cf, &k.fwd[0], mask)
+		}
+		// b == 8 forces n%8 == 0: no remainder rows.
+	} else {
+		k.forwardRows(scratch, m, src, srcStride, n, 0, n)
+	}
+	// Column pass: Y = F_L·R (m×m). Output row I·cf+r accumulates the b
+	// half-transformed rows of block-row I, weighted by transform row r —
+	// a contiguous axpy per source row, so both streams stay sequential.
+	col := colPass8
+	for blkI := 0; blkI < nblks; blkI++ {
+		for r := 0; r < cf; r++ {
+			d := dst[(blkI*cf+r)*dstStride : (blkI*cf+r)*dstStride+m]
+			f := k.fwd[r*b : (r+1)*b]
+			if col != nil {
+				col(&d[0], &scratch[blkI*b*m], m, &f[0], b, m)
+				continue
+			}
+			portableColPass(d, scratch[blkI*b*m:], m, f)
+		}
+	}
+}
+
+// forwardRows is the portable forward row pass over rows [lo, hi) — the
+// oracle the dispatched band kernel must match bit-for-bit.
+func (k *Kernel) forwardRows(scratch []float32, m int, src []float32, srcStride, n, lo, hi int) {
+	b, cf := k.b, k.cf
+	nblks := n / b
+	for i := lo; i < hi; i++ {
 		row := src[i*srcStride : i*srcStride+n]
 		out := scratch[i*m : (i+1)*m]
 		for blk := 0; blk < nblks; blk++ {
@@ -110,26 +143,24 @@ func (k *Kernel) Forward(dst []float32, dstStride int, src []float32, srcStride,
 			}
 		}
 	}
-	// Column pass: Y = F_L·R (m×m). Output row I·cf+r accumulates the b
-	// half-transformed rows of block-row I, weighted by transform row r —
-	// a contiguous axpy per source row, so both streams stay sequential.
-	for blkI := 0; blkI < nblks; blkI++ {
-		for r := 0; r < cf; r++ {
-			d := dst[(blkI*cf+r)*dstStride : (blkI*cf+r)*dstStride+m]
-			f := k.fwd[r*b : (r+1)*b]
-			for x := range d {
-				d[x] = 0
-			}
-			for p := 0; p < b; p++ {
-				fv := f[p]
-				if fv == 0 {
-					continue
-				}
-				srow := scratch[(blkI*b+p)*m : (blkI*b+p+1)*m]
-				for j, sv := range srow {
-					d[j] += fv * sv
-				}
-			}
+}
+
+// portableColPass computes one column-pass output row d from the rows
+// of scratch (at stride m): d[j] = Σ coef[p]·scratch[p*m+j], skipping
+// zero coefficients. The dispatched colPass8 kernel must match it
+// bit-for-bit.
+func portableColPass(d, scratch []float32, m int, coef []float32) {
+	for x := range d {
+		d[x] = 0
+	}
+	for p := range coef {
+		fv := coef[p]
+		if fv == 0 {
+			continue
+		}
+		srow := scratch[p*m : (p+1)*m]
+		for j, sv := range srow {
+			d[j] += fv * sv
 		}
 	}
 }
@@ -149,8 +180,38 @@ func (k *Kernel) Inverse(dst []float32, dstStride int, src []float32, srcStride,
 		panic(fmt.Sprintf("dct: Kernel.Inverse scratch %d < %d", len(scratch), m*n))
 	}
 	// Row pass: R = Y·G_Lᵀ (m×n). Each chopped row expands every cf-wide
-	// block segment back to b columns through G.
-	for i := 0; i < m; i++ {
+	// block segment back to b columns through G. The dispatched kernel
+	// takes 8-row bands; remainder rows (m%8) run the portable loop.
+	lo := 0
+	if band := invBand8; band != nil && b == 8 && nblks > 0 {
+		mask := &laneMask[cf][0]
+		for ; lo+8 <= m; lo += 8 {
+			band(&scratch[lo*n], n, &src[lo*srcStride], srcStride, nblks, cf, &k.inv[0], mask)
+		}
+	}
+	k.inverseRows(scratch, n, src, srcStride, m, lo, m)
+	// Column pass: A' = G_L·R (n×n). Only the cf retained rows of each
+	// block-row exist in R; every output row is a cf-term axpy sum.
+	col := colPass8
+	for blkI := 0; blkI < nblks; blkI++ {
+		for q := 0; q < b; q++ {
+			d := dst[(blkI*b+q)*dstStride : (blkI*b+q)*dstStride+n]
+			g := k.inv[q*cf : (q+1)*cf]
+			if col != nil {
+				col(&d[0], &scratch[blkI*cf*n], n, &g[0], cf, n)
+				continue
+			}
+			portableColPass(d, scratch[blkI*cf*n:], n, g)
+		}
+	}
+}
+
+// inverseRows is the portable inverse row pass over rows [lo, hi) — the
+// oracle the dispatched band kernel must match bit-for-bit.
+func (k *Kernel) inverseRows(scratch []float32, n int, src []float32, srcStride, m, lo, hi int) {
+	b, cf := k.b, k.cf
+	nblks := n / b
+	for i := lo; i < hi; i++ {
 		row := src[i*srcStride : i*srcStride+m]
 		out := scratch[i*n : (i+1)*n]
 		for blk := 0; blk < nblks; blk++ {
@@ -163,27 +224,6 @@ func (k *Kernel) Inverse(dst []float32, dstStride int, src []float32, srcStride,
 					s += yv * g[c]
 				}
 				o[q] = s
-			}
-		}
-	}
-	// Column pass: A' = G_L·R (n×n). Only the cf retained rows of each
-	// block-row exist in R; every output row is a cf-term axpy sum.
-	for blkI := 0; blkI < nblks; blkI++ {
-		for q := 0; q < b; q++ {
-			d := dst[(blkI*b+q)*dstStride : (blkI*b+q)*dstStride+n]
-			g := k.inv[q*cf : (q+1)*cf]
-			for x := range d {
-				d[x] = 0
-			}
-			for c := 0; c < cf; c++ {
-				gv := g[c]
-				if gv == 0 {
-					continue
-				}
-				srow := scratch[(blkI*cf+c)*n : (blkI*cf+c+1)*n]
-				for j, sv := range srow {
-					d[j] += gv * sv
-				}
 			}
 		}
 	}

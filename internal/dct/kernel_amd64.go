@@ -1,0 +1,35 @@
+//go:build amd64 && !purego
+
+package dct
+
+import "repro/internal/cpufeat"
+
+// fwdBand8AVX2 runs the forward row pass over 8 consecutive plane rows:
+// for each row r < 8 and block blk < nblks,
+// dst[r*dstStride+blk*cf+c] = Σ_{p<8} src[r*srcStride+blk*8+p]·fwd[c*8+p],
+// bit-identical to the portable loop. mask must point at 8 int32 lanes
+// with the first cf set (laneMask[cf]).
+//
+//go:noescape
+func fwdBand8AVX2(dst *float32, dstStride int, src *float32, srcStride int, nblks, cf int, fwd *float32, mask *int32)
+
+// invBand8AVX2 runs the inverse row pass over 8 consecutive chopped
+// rows: dst[r*dstStride+blk*8+q] = Σ_{c<cf} src[r*srcStride+blk*cf+c]·inv[q*cf+c].
+//
+//go:noescape
+func invBand8AVX2(dst *float32, dstStride int, src *float32, srcStride int, nblks, cf int, inv *float32, mask *int32)
+
+// colPass8AVX2 runs one column-pass output row: dst[j] = Σ over p < nc
+// with coef[p] != 0 of coef[p]·src[p*srcStride+j] for j < m, matching
+// the portable axpy chain including its zero-coefficient skip.
+//
+//go:noescape
+func colPass8AVX2(dst *float32, src *float32, srcStride int, coef *float32, nc, m int)
+
+func archSIMDAvailable() bool { return cpufeat.Have().AVX2 }
+
+func archEnable() {
+	fwdBand8 = fwdBand8AVX2
+	invBand8 = invBand8AVX2
+	colPass8 = colPass8AVX2
+}

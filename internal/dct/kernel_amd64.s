@@ -1,0 +1,384 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 kernels for the separable block transform in kernel.go. Each
+// routine performs, per output lane, exactly the scalar arithmetic of
+// the portable Go path — same operand order, same +0 accumulator seed,
+// same zero-coefficient skip (colPass8 only), multiply-then-add with no
+// FMA contraction — so results are bit-identical to the portable
+// implementation, which remains the test oracle.
+//
+// The row-pass kernels process 8 consecutive plane rows per call,
+// vectorizing across rows: an 8x8 tile is loaded, transposed so each
+// source column p becomes one YMM register (lane i = row i), the cf (or
+// 8) output channels accumulate via broadcast multiply-adds, and the
+// accumulator tile is transposed back and stored row-wise. The two 8x8
+// transposes are the standard unpack/shuf/perm2f128 sequence.
+
+// TRANSPOSE8: transpose the 8x8 float32 matrix whose rows are Y0..Y7
+// into Y8..Y15 (Y8+j = column j, lane i = row i). Clobbers Y0..Y15.
+#define TRANSPOSE8 \
+	VUNPCKLPS  Y1, Y0, Y8   \ // [a00 a10 a01 a11 | a04 a14 a05 a15]
+	VUNPCKHPS  Y1, Y0, Y9   \
+	VUNPCKLPS  Y3, Y2, Y10  \
+	VUNPCKHPS  Y3, Y2, Y11  \
+	VUNPCKLPS  Y5, Y4, Y12  \
+	VUNPCKHPS  Y5, Y4, Y13  \
+	VUNPCKLPS  Y7, Y6, Y14  \
+	VUNPCKHPS  Y7, Y6, Y15  \
+	VSHUFPS    $0x44, Y10, Y8, Y0  \ // [a00 a10 a20 a30 | a04 a14 a24 a34]
+	VSHUFPS    $0xEE, Y10, Y8, Y1  \
+	VSHUFPS    $0x44, Y11, Y9, Y2  \
+	VSHUFPS    $0xEE, Y11, Y9, Y3  \
+	VSHUFPS    $0x44, Y14, Y12, Y4 \
+	VSHUFPS    $0xEE, Y14, Y12, Y5 \
+	VSHUFPS    $0x44, Y15, Y13, Y6 \
+	VSHUFPS    $0xEE, Y15, Y13, Y7 \
+	VPERM2F128 $0x20, Y4, Y0, Y8   \ // column 0
+	VPERM2F128 $0x20, Y5, Y1, Y9   \
+	VPERM2F128 $0x20, Y6, Y2, Y10  \
+	VPERM2F128 $0x20, Y7, Y3, Y11  \
+	VPERM2F128 $0x31, Y4, Y0, Y12  \
+	VPERM2F128 $0x31, Y5, Y1, Y13  \
+	VPERM2F128 $0x31, Y6, Y2, Y14  \
+	VPERM2F128 $0x31, Y7, Y3, Y15
+
+// func fwdBand8AVX2(dst *float32, dstStride int, src *float32, srcStride int, nblks, cf int, fwd *float32, mask *int32)
+//
+// For 8 consecutive rows r and every block blk:
+//
+//	dst[r*dstStride + blk*cf + c] = sum_{p<8} src[r*srcStride + blk*8 + p] * fwd[c*8+p]
+//
+// accumulated from +0 in ascending p order. mask points at 8 int32
+// lanes, the first cf of them set, for the masked cf-wide stores.
+TEXT ·fwdBand8AVX2(SB), NOSPLIT, $544-64
+	MOVQ dst+0(FP), DI
+	MOVQ dstStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ srcStride+24(FP), DX
+	MOVQ nblks+32(FP), CX
+	MOVQ cf+40(FP), R9
+	MOVQ fwd+48(FP), R10
+	MOVQ mask+56(FP), R11
+	SHLQ $2, DX               // src row stride in bytes
+	SHLQ $2, R8               // dst row stride in bytes
+	LEAQ (DX)(DX*2), AX       // 3*srcStride
+	LEAQ (DX)(DX*4), BX       // 5*srcStride
+	LEAQ (AX)(DX*4), R12      // 7*srcStride
+
+fwdblock:
+	// Load the 8x8 tile (8 rows, one block's 8 columns).
+	VMOVUPS (SI), Y0
+	VMOVUPS (SI)(DX*1), Y1
+	VMOVUPS (SI)(DX*2), Y2
+	VMOVUPS (SI)(AX*1), Y3
+	VMOVUPS (SI)(DX*4), Y4
+	VMOVUPS (SI)(BX*1), Y5
+	VMOVUPS (SI)(AX*2), Y6
+	VMOVUPS (SI)(R12*1), Y7
+	TRANSPOSE8
+
+	// Spill the transposed columns T_p.
+	VMOVUPS Y8, tile-544(SP)
+	VMOVUPS Y9, tile-512(SP)
+	VMOVUPS Y10, tile-480(SP)
+	VMOVUPS Y11, tile-448(SP)
+	VMOVUPS Y12, tile-416(SP)
+	VMOVUPS Y13, tile-384(SP)
+	VMOVUPS Y14, tile-352(SP)
+	VMOVUPS Y15, tile-320(SP)
+
+	// otile[c] = sum_p fwd[c*8+p] * T_p  (lane = row)
+	MOVQ R9, R13              // c counter
+	MOVQ R10, R14             // fwd row walk
+	LEAQ otile-288(SP), R15
+
+fwdcloop:
+	VXORPS       Y0, Y0, Y0
+	VBROADCASTSS (R14), Y1
+	VMOVUPS      tile-544(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 4(R14), Y1
+	VMOVUPS      tile-512(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 8(R14), Y1
+	VMOVUPS      tile-480(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 12(R14), Y1
+	VMOVUPS      tile-448(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 16(R14), Y1
+	VMOVUPS      tile-416(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 20(R14), Y1
+	VMOVUPS      tile-384(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 24(R14), Y1
+	VMOVUPS      tile-352(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VBROADCASTSS 28(R14), Y1
+	VMOVUPS      tile-320(SP), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VMOVUPS      Y0, (R15)
+	ADDQ         $32, R14
+	ADDQ         $32, R15
+	DECQ         R13
+	JNZ          fwdcloop
+
+	// Transpose the accumulator tile back to row-major and store the
+	// first cf lanes of each row.
+	VMOVUPS otile-288(SP), Y0
+	VMOVUPS otile-256(SP), Y1
+	VMOVUPS otile-224(SP), Y2
+	VMOVUPS otile-192(SP), Y3
+	VMOVUPS otile-160(SP), Y4
+	VMOVUPS otile-128(SP), Y5
+	VMOVUPS otile-96(SP), Y6
+	VMOVUPS otile-64(SP), Y7
+	TRANSPOSE8
+	VMOVUPS (R11), Y0         // lane mask (first cf lanes set)
+	LEAQ (R8)(R8*2), R13      // 3*dstStride
+	LEAQ (R8)(R8*4), R14      // 5*dstStride
+	LEAQ (R13)(R8*4), R15     // 7*dstStride
+	VMASKMOVPS Y8, Y0, (DI)
+	VMASKMOVPS Y9, Y0, (DI)(R8*1)
+	VMASKMOVPS Y10, Y0, (DI)(R8*2)
+	VMASKMOVPS Y11, Y0, (DI)(R13*1)
+	VMASKMOVPS Y12, Y0, (DI)(R8*4)
+	VMASKMOVPS Y13, Y0, (DI)(R14*1)
+	VMASKMOVPS Y14, Y0, (DI)(R13*2)
+	VMASKMOVPS Y15, Y0, (DI)(R15*1)
+
+	ADDQ $32, SI              // next 8-column source block
+	LEAQ (DI)(R9*4), DI       // next cf-column dst block
+	DECQ CX
+	JNZ  fwdblock
+	VZEROUPPER
+	RET
+
+// func invBand8AVX2(dst *float32, dstStride int, src *float32, srcStride int, nblks, cf int, inv *float32, mask *int32)
+//
+// For 8 consecutive rows r and every block blk:
+//
+//	dst[r*dstStride + blk*8 + q] = sum_{c<cf} src[r*srcStride + blk*cf + c] * inv[q*cf+c]
+//
+// accumulated from +0 in ascending c order.
+TEXT ·invBand8AVX2(SB), NOSPLIT, $544-64
+	MOVQ dst+0(FP), DI
+	MOVQ dstStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ srcStride+24(FP), DX
+	MOVQ nblks+32(FP), CX
+	MOVQ cf+40(FP), R9
+	MOVQ inv+48(FP), R10
+	MOVQ mask+56(FP), R11
+	SHLQ $2, DX
+	SHLQ $2, R8
+
+invblock:
+	LEAQ (DX)(DX*2), AX       // 3*srcStride (AX/BX reused below, rebuilt per block)
+	LEAQ (DX)(DX*4), BX       // 5*srcStride
+	LEAQ (AX)(DX*4), R12      // 7*srcStride
+
+	// Masked-load the 8 x cf tile (lanes >= cf read as zero and are
+	// never used after the transpose).
+	VMOVUPS (R11), Y8
+	VMASKMOVPS (SI), Y8, Y0
+	VMASKMOVPS (SI)(DX*1), Y8, Y1
+	VMASKMOVPS (SI)(DX*2), Y8, Y2
+	VMASKMOVPS (SI)(AX*1), Y8, Y3
+	VMASKMOVPS (SI)(DX*4), Y8, Y4
+	VMASKMOVPS (SI)(BX*1), Y8, Y5
+	VMASKMOVPS (SI)(AX*2), Y8, Y6
+	VMASKMOVPS (SI)(R12*1), Y8, Y7
+	TRANSPOSE8
+
+	VMOVUPS Y8, tile-544(SP)
+	VMOVUPS Y9, tile-512(SP)
+	VMOVUPS Y10, tile-480(SP)
+	VMOVUPS Y11, tile-448(SP)
+	VMOVUPS Y12, tile-416(SP)
+	VMOVUPS Y13, tile-384(SP)
+	VMOVUPS Y14, tile-352(SP)
+	VMOVUPS Y15, tile-320(SP)
+
+	// otile[q] = sum_{c<cf} inv[q*cf+c] * T_c  (lane = row)
+	MOVQ $8, R13              // q counter
+	MOVQ R10, R15             // inv walk (contiguous across the q loop)
+	LEAQ otile-288(SP), R14
+
+invqloop:
+	VXORPS Y0, Y0, Y0
+	MOVQ   R9, AX             // c counter
+	LEAQ   tile-544(SP), BX
+
+invcloop:
+	VBROADCASTSS (R15), Y1
+	VMOVUPS      (BX), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	ADDQ         $4, R15
+	ADDQ         $32, BX
+	DECQ         AX
+	JNZ          invcloop
+	VMOVUPS      Y0, (R14)
+	ADDQ         $32, R14
+	DECQ         R13
+	JNZ          invqloop
+
+	// Transpose back and store full 8-wide rows.
+	VMOVUPS otile-288(SP), Y0
+	VMOVUPS otile-256(SP), Y1
+	VMOVUPS otile-224(SP), Y2
+	VMOVUPS otile-192(SP), Y3
+	VMOVUPS otile-160(SP), Y4
+	VMOVUPS otile-128(SP), Y5
+	VMOVUPS otile-96(SP), Y6
+	VMOVUPS otile-64(SP), Y7
+	TRANSPOSE8
+	LEAQ (R8)(R8*2), R13      // 3*dstStride
+	LEAQ (R8)(R8*4), R14      // 5*dstStride
+	LEAQ (R13)(R8*4), R15     // 7*dstStride
+	VMOVUPS Y8, (DI)
+	VMOVUPS Y9, (DI)(R8*1)
+	VMOVUPS Y10, (DI)(R8*2)
+	VMOVUPS Y11, (DI)(R13*1)
+	VMOVUPS Y12, (DI)(R8*4)
+	VMOVUPS Y13, (DI)(R14*1)
+	VMOVUPS Y14, (DI)(R13*2)
+	VMOVUPS Y15, (DI)(R15*1)
+
+	LEAQ (SI)(R9*4), SI       // next cf-column source block
+	ADDQ $32, DI              // next 8-column dst block
+	DECQ CX
+	JNZ  invblock
+	VZEROUPPER
+	RET
+
+// func colPass8AVX2(dst *float32, src *float32, srcStride int, coef *float32, nc, m int)
+//
+// dst[j] = sum over p<nc with coef[p] != 0 of coef[p]*src[p*srcStride+j]
+// for j < m, accumulated from +0 in ascending p order — the column-pass
+// axpy chain of the portable path with the destination kept in
+// registers. Zero coefficients are skipped exactly as in Go (NaN
+// coefficients are kept: the UCOMISS parity check routes unordered
+// compares to the accumulate path).
+TEXT ·colPass8AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ srcStride+16(FP), DX
+	MOVQ coef+24(FP), R8
+	MOVQ nc+32(FP), R9
+	MOVQ m+40(FP), R10
+	SHLQ $2, DX
+	VXORPS X4, X4, X4         // scalar zero for the skip compares
+
+col16:
+	CMPQ R10, $16
+	JLT  col8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ   SI, CX             // row cursor
+	MOVQ   R8, R11            // coef cursor
+	MOVQ   R9, R12            // p counter
+
+col16p:
+	VMOVSS   (R11), X2
+	VUCOMISS X4, X2
+	JP      col16do           // NaN coefficient: accumulate
+	JE      col16skip         // zero coefficient: skip row
+
+col16do:
+	VBROADCASTSS X2, Y2
+	VMOVUPS      (CX), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y0, Y3, Y0
+	VMOVUPS      32(CX), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y1, Y3, Y1
+
+col16skip:
+	ADDQ DX, CX
+	ADDQ $4, R11
+	DECQ R12
+	JNZ  col16p
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $16, R10
+	JMP     col16
+
+col8:
+	CMPQ R10, $8
+	JLT  coltail
+	VXORPS Y0, Y0, Y0
+	MOVQ   SI, CX
+	MOVQ   R8, R11
+	MOVQ   R9, R12
+
+col8p:
+	VMOVSS   (R11), X2
+	VUCOMISS X4, X2
+	JP      col8do
+	JE      col8skip
+
+col8do:
+	VBROADCASTSS X2, Y2
+	VMOVUPS      (CX), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y0, Y3, Y0
+
+col8skip:
+	ADDQ DX, CX
+	ADDQ $4, R11
+	DECQ R12
+	JNZ  col8p
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, R10
+	JMP     col8
+
+coltail:
+	TESTQ R10, R10
+	JZ    coldone
+	VXORPS X0, X0, X0
+	MOVQ   SI, CX
+	MOVQ   R8, R11
+	MOVQ   R9, R12
+
+coltailp:
+	VMOVSS   (R11), X2
+	VUCOMISS X4, X2
+	JP      coltaildo
+	JE      coltailskip
+
+coltaildo:
+	VMOVSS (CX), X3
+	VMULSS X2, X3, X3
+	VADDSS X0, X3, X0
+
+coltailskip:
+	ADDQ DX, CX
+	ADDQ $4, R11
+	DECQ R12
+	JNZ  coltailp
+	VMOVSS X0, (DI)
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	DECQ  R10
+	JNZ   coltail
+
+coldone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,45 @@
+package dct
+
+// Dispatched kernel entry points, selected once at init from the
+// detected CPU features (see internal/cpufeat, including its
+// ACC_DISABLE_* environment overrides). A nil pointer selects the
+// portable Go path, which is the semantic oracle: every dispatched
+// implementation must produce bit-identical float32 results on the
+// same inputs.
+var (
+	fwdBand8 func(dst *float32, dstStride int, src *float32, srcStride int, nblks, cf int, fwd *float32, mask *int32)
+	invBand8 func(dst *float32, dstStride int, src *float32, srcStride int, nblks, cf int, inv *float32, mask *int32)
+	colPass8 func(dst *float32, src *float32, srcStride int, coef *float32, nc, m int)
+)
+
+// laneMask[c] has its first c lanes set to all-ones: the load/store
+// masks for cf-wide masked vector ops inside the band kernels.
+var laneMask [9][8]int32
+
+func init() {
+	for c := 1; c <= 8; c++ {
+		for j := 0; j < c; j++ {
+			laneMask[c][j] = -1
+		}
+	}
+	if archSIMDAvailable() {
+		archEnable()
+	}
+}
+
+// SIMDAvailable reports whether vectorized kernels are compiled in and
+// usable on this CPU (after environment overrides).
+func SIMDAvailable() bool { return archSIMDAvailable() }
+
+// SetSIMD forces the vector kernels on or off and reports the previous
+// state. Enabling is a no-op when SIMDAvailable is false. It is a
+// testing hook — not safe to call concurrently with running transforms.
+func SetSIMD(on bool) bool {
+	prev := colPass8 != nil
+	if on && archSIMDAvailable() {
+		archEnable()
+	} else {
+		fwdBand8, invBand8, colPass8 = nil, nil, nil
+	}
+	return prev
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package dct
+
+func archSIMDAvailable() bool { return false }
+
+func archEnable() {}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dct
+
+const raceEnabled = false

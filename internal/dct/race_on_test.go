@@ -1,0 +1,10 @@
+//go:build race
+
+package dct
+
+// raceEnabled reports whether the race detector is compiled in. The
+// SIMD equivalence tests relax NaN-payload matching under race (the
+// instrumentation changes the portable path's operand scheduling) and
+// the zero-allocation assertions skip, since the race runtime
+// allocates.
+const raceEnabled = true

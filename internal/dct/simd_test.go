@@ -1,0 +1,167 @@
+package dct
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// adversarialFill seeds a slice with values that stress float32 edge
+// cases: ±0, NaN, ±Inf, denormals, and huge magnitudes, mixed with
+// ordinary noise.
+func adversarialFill(r *rand.Rand, s []float32) {
+	specials := []float32{
+		0, float32(math.Copysign(0, -1)),
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32, 1e-30, -1e-30,
+	}
+	for i := range s {
+		if r.Intn(3) == 0 {
+			s[i] = specials[r.Intn(len(specials))]
+		} else {
+			s[i] = float32(r.NormFloat64() * 100)
+		}
+	}
+}
+
+// sameBits reports whether two float32 slices are bit-identical
+// (NaN payloads included) and returns the first differing index.
+//
+// Under the race detector the instrumentation changes the portable
+// path's codegen (inlining and spills), which changes which operand
+// lands in src1 of the two-NaN float ops — so NaN payloads stop
+// matching the assembly's. Payloads are unobservable downstream
+// (float→int conversion of any NaN is the same value), so the race
+// build compares NaNs as a class and stays bit-exact everywhere else.
+func sameBits(a, b []float32) (int, bool) {
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			if raceEnabled && math.IsNaN(float64(a[i])) && math.IsNaN(float64(b[i])) {
+				continue
+			}
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// randKernel builds a Kernel over a random b×b transform. Some entries
+// are forced to exactly zero to exercise the column-pass skip branch.
+func randKernel(r *rand.Rand, b, cf int) *Kernel {
+	t := tensor.New(b, b)
+	it := tensor.New(b, b)
+	td, itd := t.Data(), it.Data()
+	for i := 0; i < b*b; i++ {
+		td[i] = float32(r.NormFloat64())
+		itd[i] = float32(r.NormFloat64())
+		if r.Intn(5) == 0 {
+			td[i] = 0
+		}
+		if r.Intn(5) == 0 {
+			itd[i] = 0
+		}
+	}
+	return NewKernel(t, it, cf)
+}
+
+// TestKernelSIMDEquivalence checks that the dispatched vector kernels
+// produce bit-identical output to the portable path across block sizes,
+// chop factors, strides, and adversarial inputs.
+func TestKernelSIMDEquivalence(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels on this platform")
+	}
+	defer SetSIMD(true)
+	r := rand.New(rand.NewSource(7))
+	for _, b := range []int{4, 8} {
+		for cf := 1; cf <= b; cf++ {
+			for _, nblkRows := range []int{1, 2, 3, 5} {
+				n := b * nblkRows
+				k := randKernel(r, b, cf)
+				m := k.M(n)
+				for trial := 0; trial < 4; trial++ {
+					name := fmt.Sprintf("b=%d/cf=%d/n=%d/trial=%d", b, cf, n, trial)
+					srcStride := n + r.Intn(5)
+					dstStride := m + r.Intn(5)
+					src := make([]float32, n*srcStride+n)
+					if trial%2 == 0 {
+						adversarialFill(r, src)
+					} else {
+						for i := range src {
+							src[i] = float32(r.NormFloat64())
+						}
+					}
+					scratchA := make([]float32, k.ScratchLen(n))
+					scratchB := make([]float32, k.ScratchLen(n))
+					fwdA := make([]float32, m*dstStride+m)
+					fwdB := make([]float32, m*dstStride+m)
+
+					SetSIMD(false)
+					k.Forward(fwdA, dstStride, src, srcStride, n, scratchA)
+					SetSIMD(true)
+					k.Forward(fwdB, dstStride, src, srcStride, n, scratchB)
+					if i, ok := sameBits(fwdA, fwdB); !ok {
+						t.Fatalf("%s: Forward diverges at %d: portable %08x simd %08x",
+							name, i, math.Float32bits(fwdA[i]), math.Float32bits(fwdB[i]))
+					}
+
+					// Inverse over an independent m×m input (reusing the
+					// forward output would propagate NaNs everywhere and
+					// weaken the comparison less interestingly).
+					isrc := make([]float32, m*srcStride+m)
+					if trial%2 == 0 {
+						adversarialFill(r, isrc)
+					} else {
+						for i := range isrc {
+							isrc[i] = float32(r.NormFloat64())
+						}
+					}
+					invA := make([]float32, n*dstStride+n)
+					invB := make([]float32, n*dstStride+n)
+					SetSIMD(false)
+					k.Inverse(invA, dstStride, isrc, srcStride, n, scratchA)
+					SetSIMD(true)
+					k.Inverse(invB, dstStride, isrc, srcStride, n, scratchB)
+					if i, ok := sameBits(invA, invB); !ok {
+						t.Fatalf("%s: Inverse diverges at %d: portable %08x simd %08x",
+							name, i, math.Float32bits(invA[i]), math.Float32bits(invB[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSIMDAllocs verifies the dispatched paths stay
+// allocation-free in both modes.
+func TestKernelSIMDAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	k := randKernel(r, 8, 4)
+	n := 64
+	m := k.M(n)
+	src := make([]float32, n*n)
+	for i := range src {
+		src[i] = float32(r.NormFloat64())
+	}
+	dst := make([]float32, m*m)
+	rec := make([]float32, n*n)
+	scratch := make([]float32, k.ScratchLen(n))
+	for _, mode := range []bool{false, true} {
+		if mode && !SIMDAvailable() {
+			continue
+		}
+		SetSIMD(mode)
+		allocs := testing.AllocsPerRun(10, func() {
+			k.Forward(dst, m, src, n, n, scratch)
+			k.Inverse(rec, n, dst, m, n, scratch)
+		})
+		if allocs != 0 {
+			t.Fatalf("simd=%v: Forward+Inverse allocated %v times per run", mode, allocs)
+		}
+	}
+	SetSIMD(true)
+}

@@ -48,9 +48,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"slices"
 	"sync"
 
 	"repro/internal/bitstream"
+	"repro/internal/vecops"
 )
 
 const (
@@ -424,9 +426,9 @@ func decompressBlock(dst, src []byte, st *scratch, limit int) ([]byte, []byte, i
 			return nil, nil, 0, fmt.Errorf("entropy: rle block missing symbol")
 		}
 		sym := src[0]
-		for i := 0; i < rawLen; i++ {
-			dst = append(dst, sym)
-		}
+		base := len(dst)
+		dst = slices.Grow(dst, rawLen)[:base+rawLen]
+		vecops.FillBytes(dst[base:], sym)
 		return dst, src[1:], rawLen, nil
 	case modeFSE:
 		bodyLen64, used := binary.Uvarint(src)

@@ -71,6 +71,11 @@ func mm8(c, a, b *[64]float32) {
 // dct.Apply2D bit-for-bit.
 func forwardDCT8(dst, src *[64]float32) {
 	var tmp [64]float32
+	if simdOn {
+		mm8AVX2(&tmp, &dctT, src)
+		mm8AVX2(dst, &tmp, &dctTt)
+		return
+	}
 	mm8(&tmp, &dctT, src)
 	mm8(dst, &tmp, &dctTt)
 }
@@ -78,6 +83,11 @@ func forwardDCT8(dst, src *[64]float32) {
 // inverseDCT8 computes dst = Tᵀ·src·T, matching dct.Invert2D.
 func inverseDCT8(dst, src *[64]float32) {
 	var tmp [64]float32
+	if simdOn {
+		mm8AVX2(&tmp, &dctTt, src)
+		mm8AVX2(dst, &tmp, &dctT)
+		return
+	}
 	mm8(&tmp, &dctTt, src)
 	mm8(dst, &tmp, &dctT)
 }
@@ -91,10 +101,14 @@ func quantizePlane(dst []int32, plane []float32, h, w int, table *[64]int) {
 	k := 0
 	for bi := 0; bi < h; bi += BlockSize {
 		for bj := 0; bj < w; bj += BlockSize {
-			for i := 0; i < BlockSize; i++ {
-				row := plane[(bi+i)*w+bj : (bi+i)*w+bj+BlockSize]
-				for j, v := range row {
-					blk[i*BlockSize+j] = v*255 - 128
+			if simdOn {
+				levelShift8AVX2(&blk, &plane[bi*w+bj], w)
+			} else {
+				for i := 0; i < BlockSize; i++ {
+					row := plane[(bi+i)*w+bj : (bi+i)*w+bj+BlockSize]
+					for j, v := range row {
+						blk[i*BlockSize+j] = v*255 - 128
+					}
 				}
 			}
 			forwardDCT8(&d, &blk)
@@ -123,10 +137,14 @@ func dequantizePlane(plane []float32, src []int32, h, w int, table *[64]int) {
 			}
 			k += 64
 			inverseDCT8(&rec, &d)
-			for i := 0; i < BlockSize; i++ {
-				row := plane[(bi+i)*w+bj : (bi+i)*w+bj+BlockSize]
-				for j := range row {
-					row[j] = (rec[i*BlockSize+j] + 128) / 255
+			if simdOn {
+				storeShift8AVX2(&plane[bi*w+bj], w, &rec)
+			} else {
+				for i := 0; i < BlockSize; i++ {
+					row := plane[(bi+i)*w+bj : (bi+i)*w+bj+BlockSize]
+					for j := range row {
+						row[j] = (rec[i*BlockSize+j] + 128) / 255
+					}
 				}
 			}
 		}

@@ -1,0 +1,235 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 kernels for the jpegq plane engine. Each vector lane replays the
+// portable scalar op sequence exactly (same order, no FMA), so the
+// quantized coefficient stream is byte-identical in both modes.
+
+DATA f255<>+0(SB)/4, $0x437f0000 // 255.0
+GLOBL f255<>(SB), RODATA|NOPTR, $4
+DATA f128<>+0(SB)/4, $0x43000000 // 128.0
+GLOBL f128<>(SB), RODATA|NOPTR, $4
+
+// func mm8AVX2(c, a, b *[64]float32)
+//
+// c = a·b with the serial i-k-j loop of the portable mm8: per output
+// row, eight lane accumulators start at +0 and accumulate
+// av*b[p*8+j] in ascending p order, skipping rows where av == 0
+// (NaN av is kept, as in Go).
+TEXT ·mm8AVX2(SB), NOSPLIT, $0-24
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	VXORPS X4, X4, X4
+	VMOVUPS 0(DX), Y8
+	VMOVUPS 32(DX), Y9
+	VMOVUPS 64(DX), Y10
+	VMOVUPS 96(DX), Y11
+	VMOVUPS 128(DX), Y12
+	VMOVUPS 160(DX), Y13
+	VMOVUPS 192(DX), Y14
+	VMOVUPS 224(DX), Y15
+	MOVQ $8, CX
+
+mm8row:
+	VXORPS Y0, Y0, Y0
+	VMOVSS   0(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p0
+	JE       mm8s0
+
+mm8p0:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y8, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s0:
+	VMOVSS   4(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p1
+	JE       mm8s1
+
+mm8p1:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y9, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s1:
+	VMOVSS   8(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p2
+	JE       mm8s2
+
+mm8p2:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y10, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s2:
+	VMOVSS   12(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p3
+	JE       mm8s3
+
+mm8p3:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y11, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s3:
+	VMOVSS   16(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p4
+	JE       mm8s4
+
+mm8p4:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y12, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s4:
+	VMOVSS   20(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p5
+	JE       mm8s5
+
+mm8p5:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y13, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s5:
+	VMOVSS   24(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p6
+	JE       mm8s6
+
+mm8p6:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y14, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s6:
+	VMOVSS   28(SI), X1
+	VUCOMISS X4, X1
+	JP       mm8p7
+	JE       mm8s7
+
+mm8p7:
+	VBROADCASTSS X1, Y1
+	VMULPS       Y15, Y1, Y1
+	VADDPS       Y1, Y0, Y0
+
+mm8s7:
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     mm8row
+	VZEROUPPER
+	RET
+
+// func levelShift8AVX2(dst *[64]float32, src *float32, stride int)
+//
+// dst[i*8+j] = src[i*stride+j]*255 - 128 for one 8x8 block.
+TEXT ·levelShift8AVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ stride+16(FP), DX
+	SHLQ $2, DX
+	VBROADCASTSS f255<>(SB), Y2
+	VBROADCASTSS f128<>(SB), Y3
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 0(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 32(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 64(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 96(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 128(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 160(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 192(DI)
+	ADDQ    DX, SI
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0
+	VSUBPS  Y3, Y0, Y0
+	VMOVUPS Y0, 224(DI)
+	VZEROUPPER
+	RET
+
+// func storeShift8AVX2(dst *float32, stride int, rec *[64]float32)
+//
+// dst[i*stride+j] = (rec[i*8+j] + 128) / 255 for one 8x8 block.
+TEXT ·storeShift8AVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ stride+8(FP), DX
+	MOVQ rec+16(FP), SI
+	SHLQ $2, DX
+	VBROADCASTSS f255<>(SB), Y2
+	VBROADCASTSS f128<>(SB), Y3
+	VMOVUPS 0(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 32(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 64(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 96(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 128(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 160(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 192(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS 224(SI), Y0
+	VADDPS  Y3, Y0, Y0
+	VDIVPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET

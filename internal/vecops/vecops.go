@@ -1,0 +1,34 @@
+// Package vecops provides small dispatched vector primitives shared by
+// the entropy coders: bulk fills used by the Huffman LUT construction
+// (internal/vle) and RLE expansion (internal/entropy). Like the other
+// kernel packages, the portable Go loop is both the fallback and the
+// oracle: the vector paths produce identical memory contents, so
+// callers see no behavioral difference beyond speed.
+package vecops
+
+// fillThreshold is the slice length below which the portable loop is
+// used even when vector kernels are available — the call and
+// broadcast overhead dominates tiny spans.
+const fillThreshold = 32
+
+// FillUint16 sets every element of dst to v.
+func FillUint16(dst []uint16, v uint16) {
+	if simdOn && len(dst) >= fillThreshold {
+		fillUint16AVX2(&dst[0], len(dst), v)
+		return
+	}
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// FillBytes sets every byte of dst to v.
+func FillBytes(dst []byte, v byte) {
+	if simdOn && len(dst) >= fillThreshold {
+		fillBytesAVX2(&dst[0], len(dst), v)
+		return
+	}
+	for i := range dst {
+		dst[i] = v
+	}
+}

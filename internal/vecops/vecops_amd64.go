@@ -1,0 +1,26 @@
+//go:build amd64 && !purego
+
+package vecops
+
+import "repro/internal/cpufeat"
+
+//go:noescape
+func fillUint16AVX2(dst *uint16, n int, v uint16)
+
+//go:noescape
+func fillBytesAVX2(dst *byte, n int, v byte)
+
+// simdOn guards direct calls to the dispatched kernels.
+var simdOn = cpufeat.Have().AVX2
+
+// SIMDAvailable reports whether vectorized kernels are compiled in and
+// usable on this CPU (after environment overrides).
+func SIMDAvailable() bool { return cpufeat.Have().AVX2 }
+
+// SetSIMD forces the vector kernels on or off and reports the previous
+// state. A testing hook — not safe concurrently with fills.
+func SetSIMD(on bool) bool {
+	prev := simdOn
+	simdOn = on && SIMDAvailable()
+	return prev
+}

@@ -1,0 +1,75 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func fillUint16AVX2(dst *uint16, n int, v uint16)
+TEXT ·fillUint16AVX2(SB), NOSPLIT, $0-18
+	MOVQ    dst+0(FP), DI
+	MOVQ    n+8(FP), CX
+	MOVWLZX v+16(FP), AX
+	VMOVD   AX, X0
+	VPBROADCASTW X0, Y0
+
+fill16x32:
+	CMPQ    CX, $32
+	JLT     fill16x16
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y0, 32(DI)
+	ADDQ    $64, DI
+	SUBQ    $32, CX
+	JMP     fill16x32
+
+fill16x16:
+	CMPQ    CX, $16
+	JLT     fill16tail
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, DI
+	SUBQ    $16, CX
+
+fill16tail:
+	TESTQ CX, CX
+	JZ    fill16done
+	MOVW  AX, (DI)
+	ADDQ  $2, DI
+	DECQ  CX
+	JMP   fill16tail
+
+fill16done:
+	VZEROUPPER
+	RET
+
+// func fillBytesAVX2(dst *byte, n int, v byte)
+TEXT ·fillBytesAVX2(SB), NOSPLIT, $0-17
+	MOVQ    dst+0(FP), DI
+	MOVQ    n+8(FP), CX
+	MOVBLZX v+16(FP), AX
+	VMOVD   AX, X0
+	VPBROADCASTB X0, Y0
+
+fill8x64:
+	CMPQ    CX, $64
+	JLT     fill8x32
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y0, 32(DI)
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JMP     fill8x64
+
+fill8x32:
+	CMPQ    CX, $32
+	JLT     fill8tail
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+
+fill8tail:
+	TESTQ CX, CX
+	JZ    fill8done
+	MOVB  AX, (DI)
+	INCQ  DI
+	DECQ  CX
+	JMP   fill8tail
+
+fill8done:
+	VZEROUPPER
+	RET

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/bitstream"
+	"repro/internal/vecops"
 )
 
 // Symbol kinds in the RLE stream. Values are encoded as (run, value)
@@ -603,9 +604,7 @@ func (d *Decoder) build() error {
 	// Fast table: every code of length ≤ lutBits owns a contiguous
 	// 2^(lutBits−l) range of peeked values. A zero entry means "no short
 	// code matches" (len 0 cannot be encoded, so 0 is a safe sentinel).
-	for i := range d.lut {
-		d.lut[i] = 0
-	}
+	vecops.FillUint16(d.lut[:], 0)
 	for i := 0; i < d.nsym; i++ {
 		sym := d.sorted[i]
 		l := uint(d.lens[sym])
@@ -621,9 +620,7 @@ func (d *Decoder) build() error {
 		base := c << (lutBits - l)
 		span := uint64(1) << (lutBits - l)
 		packed := uint16(sym)<<6 | uint16(l)
-		for j := uint64(0); j < span; j++ {
-			d.lut[base+j] = packed
-		}
+		vecops.FillUint16(d.lut[base:base+span], packed)
 	}
 	return nil
 }

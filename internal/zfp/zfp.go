@@ -195,9 +195,21 @@ func (c *Codec) encodeBlock(bw *bitstream.Writer, block *[blockValues]float32, b
 	// coded verbatim; the rest are coded with one group-test bit plus a
 	// unary walk to each newly-significant coefficient, so all-zero
 	// tails cost a single bit per plane.
-	// Pack coefficient pairs into 64-bit words so each plane gather
-	// touches 8 words instead of 16; `any` short-circuits planes with no
-	// set bits. The extracted plane words are identical to the scalar
+	n := 0
+	if simdOn {
+		// One vectorized 16×32 bit transpose up front; each plane's mask
+		// is then a single table read. Bit-identical to the SWAR path.
+		var masks [32]uint16
+		zfpGatherAVX2(&u, &masks)
+		for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
+			encodePlane(bw, uint32(masks[plane]), &n, &budget)
+		}
+		return
+	}
+	// Portable path (and the oracle for the vector kernel): pack
+	// coefficient pairs into 64-bit words so each plane gather touches 8
+	// words instead of 16; `any` short-circuits planes with no set bits.
+	// The extracted plane words are identical to the scalar
 	// per-coefficient gather.
 	var w8 [8]uint64
 	var anyW uint64
@@ -206,7 +218,6 @@ func (c *Codec) encodeBlock(bw *bitstream.Writer, block *[blockValues]float32, b
 		anyW |= w8[i]
 	}
 	any := uint32(anyW) | uint32(anyW>>32)
-	n := 0
 	for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
 		var x uint32
 		if (any>>uint(plane))&1 != 0 {
@@ -279,28 +290,45 @@ func (c *Codec) decodeBlock(br *bitstream.Reader, block *[blockValues]float32, b
 	e := int(eRaw) - exponentBias
 	budget -= expBits
 
-	// Mirror of the encoder's paired-word layout: bits accumulate into 8
-	// uint64s (two coefficients each) and unpack once at the end; empty
-	// planes skip the scatter entirely.
-	var w8 [8]uint64
+	var u [blockValues]uint32
 	n := 0
-	for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
-		x, err := decodePlane(br, &n, &budget)
-		if err != nil {
-			return err
+	if simdOn {
+		// Collect each plane's 16-bit mask (decodePlane can set junk
+		// bits ≥ 16 on corrupt streams; the scatter — like the portable
+		// unpack — reads only bits 0..15), then run one vectorized
+		// inverse transpose.
+		var masks [32]uint16
+		for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
+			x, err := decodePlane(br, &n, &budget)
+			if err != nil {
+				return err
+			}
+			masks[plane] = uint16(x)
 		}
-		if x == 0 {
-			continue
+		zfpScatterAVX2(&u, &masks)
+	} else {
+		// Portable path (and the oracle for the vector kernel): mirror
+		// of the encoder's paired-word layout — bits accumulate into 8
+		// uint64s (two coefficients each) and unpack once at the end;
+		// empty planes skip the scatter entirely.
+		var w8 [8]uint64
+		for plane := maxPlane; plane >= 0 && budget > 0; plane-- {
+			x, err := decodePlane(br, &n, &budget)
+			if err != nil {
+				return err
+			}
+			if x == 0 {
+				continue
+			}
+			for i := 0; i < 8; i++ {
+				y := uint64(x>>uint(2*i))&1 | (uint64(x>>uint(2*i+1))&1)<<32
+				w8[i] |= y << uint(plane)
+			}
 		}
 		for i := 0; i < 8; i++ {
-			y := uint64(x>>uint(2*i))&1 | (uint64(x>>uint(2*i+1))&1)<<32
-			w8[i] |= y << uint(plane)
+			u[2*i] = uint32(w8[i])
+			u[2*i+1] = uint32(w8[i] >> 32)
 		}
-	}
-	var u [blockValues]uint32
-	for i := 0; i < 8; i++ {
-		u[2*i] = uint32(w8[i])
-		u[2*i+1] = uint32(w8[i] >> 32)
 	}
 
 	var q [blockValues]int32

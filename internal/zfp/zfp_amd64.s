@@ -1,0 +1,89 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Bit-plane transpose kernels: a 4×4 block's 16 negabinary coefficients
+// (16 uint32 lanes) against their 32 bit planes (16-bit masks, bit k =
+// coefficient k in sequency order). Both directions are exact bit
+// transposes, so outputs are bit-identical to the portable SWAR path.
+
+DATA lanebitsLo<>+0(SB)/4, $1
+DATA lanebitsLo<>+4(SB)/4, $2
+DATA lanebitsLo<>+8(SB)/4, $4
+DATA lanebitsLo<>+12(SB)/4, $8
+DATA lanebitsLo<>+16(SB)/4, $16
+DATA lanebitsLo<>+20(SB)/4, $32
+DATA lanebitsLo<>+24(SB)/4, $64
+DATA lanebitsLo<>+28(SB)/4, $128
+GLOBL lanebitsLo<>(SB), RODATA|NOPTR, $32
+
+DATA lanebitsHi<>+0(SB)/4, $256
+DATA lanebitsHi<>+4(SB)/4, $512
+DATA lanebitsHi<>+8(SB)/4, $1024
+DATA lanebitsHi<>+12(SB)/4, $2048
+DATA lanebitsHi<>+16(SB)/4, $4096
+DATA lanebitsHi<>+20(SB)/4, $8192
+DATA lanebitsHi<>+24(SB)/4, $16384
+DATA lanebitsHi<>+28(SB)/4, $32768
+GLOBL lanebitsHi<>(SB), RODATA|NOPTR, $32
+
+// func zfpGatherAVX2(u *[16]uint32, masks *[32]uint16)
+//
+// masks[p] bit k = (u[k] >> p) & 1. Planes walk from 31 down to 0 by
+// extracting sign bits with VMOVMSKPS and shifting the lanes left.
+TEXT ·zfpGatherAVX2(SB), NOSPLIT, $0-16
+	MOVQ u+0(FP), SI
+	MOVQ masks+8(FP), DI
+	VMOVDQU (SI), Y0          // coefficients 0..7
+	VMOVDQU 32(SI), Y1        // coefficients 8..15
+	MOVQ    $31, CX
+
+gatherplane:
+	VMOVMSKPS Y0, AX
+	VMOVMSKPS Y1, BX
+	SHLQ      $8, BX
+	ORQ       BX, AX
+	MOVW      AX, (DI)(CX*2)
+	VPSLLD    $1, Y0, Y0
+	VPSLLD    $1, Y1, Y1
+	DECQ      CX
+	JGE       gatherplane
+	VZEROUPPER
+	RET
+
+// func zfpScatterAVX2(u *[16]uint32, masks *[32]uint16)
+//
+// u[k] = Σ_p ((masks[p] >> k) & 1) << p — the inverse transpose.
+// Planes walk from 0 up to 31: each step shifts the accumulators right
+// one bit and injects the plane's lane bits at bit 31, so plane p lands
+// at bit p after the remaining 31-p shifts.
+TEXT ·zfpScatterAVX2(SB), NOSPLIT, $0-16
+	MOVQ u+0(FP), DI
+	MOVQ masks+8(FP), SI
+	VMOVDQU lanebitsLo<>(SB), Y6
+	VMOVDQU lanebitsHi<>(SB), Y7
+	VPXOR   Y0, Y0, Y0        // coefficients 0..7
+	VPXOR   Y1, Y1, Y1        // coefficients 8..15
+	XORQ    CX, CX
+
+scatterplane:
+	MOVWLZX      (SI)(CX*2), AX
+	VMOVD        AX, X2
+	VPBROADCASTD X2, Y2
+	VPSRLD       $1, Y0, Y0
+	VPSRLD       $1, Y1, Y1
+	VPAND        Y6, Y2, Y3
+	VPCMPEQD     Y6, Y3, Y3
+	VPSLLD       $31, Y3, Y3
+	VPOR         Y3, Y0, Y0
+	VPAND        Y7, Y2, Y4
+	VPCMPEQD     Y7, Y4, Y4
+	VPSLLD       $31, Y4, Y4
+	VPOR         Y4, Y1, Y1
+	INCQ         CX
+	CMPQ         CX, $32
+	JLT          scatterplane
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VZEROUPPER
+	RET
