@@ -36,6 +36,19 @@ ACC_DISABLE_SIMD=1 go test -count=1 \
 # trips must both report 0 allocs/op.
 go test ./internal/entropy/ -run TestZeroAllocSteadyState -count=1
 go test ./internal/codec/ -run TestRoundTripIntoAllocs -count=1
+# Telemetry alloc gates: the instrumented fused round trip must stay
+# 0 allocs/op with telemetry enabled, and the pipelined stream engine
+# must allocate no more with it on than off.
+go test ./internal/codec/ -run 'TestInstrumentedRoundTripIntoAllocs|TestStreamEngineTelemetryAllocNeutral' -count=1
+
+# Telemetry neutrality: the golden byte streams and conformance suite
+# must pass identically with instrumentation on and off (the in-process
+# on-vs-off byte diff is TestTelemetryByteNeutral), and the whole tree
+# must build and pass with the layer compiled out entirely.
+ACC_TELEMETRY=1 go test ./internal/codec/ -run 'TestGolden|TestConformanceRoundTrip|TestTelemetryByteNeutral' -count=1
+ACC_TELEMETRY=0 go test ./internal/codec/ -run 'TestGolden|TestConformanceRoundTrip' -count=1
+go build -tags acc_notelemetry ./...
+go test -tags acc_notelemetry ./internal/telemetry/ ./internal/codec/ -count=1
 
 # Stage-pipeline conformance: every registered family must round-trip
 # both bare and through the "+fse" entropy stage, with the staged
@@ -55,6 +68,6 @@ go run ./cmd/acc-bench -hostbench -benchquick -benchname smoke -benchdir "$smoke
 # numbers are too noisy to gate on, so this prints the table (flagging
 # >10% slowdowns) without failing the build. Gate manually with
 # -fail-on-regress on full-benchtime artifacts.
-go run ./cmd/acc-bench -compare BENCH_pr6.json "$smokedir/BENCH_smoke.json" || true
+go run ./cmd/acc-bench -compare BENCH_pr8.json "$smokedir/BENCH_smoke.json" || true
 
 echo "check.sh: all green"

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpufeat"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -43,6 +44,12 @@ type hostBenchFile struct {
 	Benchmarks          []hostBenchEntry   `json:"benchmarks"`
 	Codecs              []codecBenchEntry  `json:"codecs,omitempty"`
 	Stream              []streamBenchEntry `json:"stream,omitempty"`
+	// Telemetry is the delta of the process-wide metric registry over
+	// the benchmark run (see internal/telemetry): per-spec codec call
+	// counts and latency histograms, stream-engine counters, and
+	// SIMD-dispatch counters, so the artifact records which paths the
+	// numbers actually measured. Omitted when telemetry is disabled.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 type hostBenchCase struct {
@@ -198,6 +205,7 @@ func runHostBench(name, dir, benchtime string, full bool) error {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		CPUFeatures: cpufeat.Summary(),
 	}
+	telemetryBefore := telemetry.Default().Snapshot()
 	byName := map[string]hostBenchEntry{}
 	for _, c := range hostBenchCases(full) {
 		e, err := measureHostCase(c)
@@ -218,6 +226,10 @@ func runHostBench(name, dir, benchtime string, full bool) error {
 			out.RoundTrip512Speedup = dense.NsPerOp / fast.NsPerOp
 			fmt.Printf("512x512 cf=4 roundtrip speedup vs dense: %.1fx\n", out.RoundTrip512Speedup)
 		}
+	}
+	if telemetry.Enabled() {
+		snap := telemetry.Default().Snapshot().Delta(telemetryBefore)
+		out.Telemetry = &snap
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

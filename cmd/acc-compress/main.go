@@ -49,6 +49,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/codec/tensorio"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -67,6 +68,7 @@ func main() {
 		trans  = flag.String("transform", "dct8", "legacy: block transform: dct8 | zfp4")
 		device = flag.String("device", "", "simulate on a device (CS-2, SN30, GroqChip, IPU, A100)")
 		stream = flag.Bool("stream", false, "ACCF v2 stream mode: compress many inputs into one multi-tensor stream, decompress record by record")
+		stats  = flag.Bool("stats", false, "print a telemetry summary (counters, latency histograms) to stderr after the run")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -78,7 +80,7 @@ func main() {
 	case "compress":
 		if *stream {
 			compressStream(*in, *out, newCodec(*spec, *cf, *sg, *serial, *trans), *bd, *ch, *n)
-			return
+			break
 		}
 		x := readTensor(*in, *bd, *ch, *n)
 		c := newCodec(*spec, *cf, *sg, *serial, *trans)
@@ -91,7 +93,7 @@ func main() {
 	case "decompress":
 		if *stream {
 			decompressStream(*in, *out)
-			return
+			break
 		}
 		// Fully self-describing: codec and shape come from the container
 		// header, so no -codec or shape flags are needed (or consulted).
@@ -133,6 +135,11 @@ func main() {
 
 	default:
 		check(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *stats {
+		fmt.Fprintln(os.Stderr, "--- telemetry ---")
+		check(telemetry.Default().Snapshot().WriteHuman(os.Stderr))
 	}
 }
 

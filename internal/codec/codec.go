@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -136,10 +137,30 @@ func RoundTripInto(c Codec, dst, x *tensor.Tensor) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("codec: %T is not a registry codec", c)
 	}
+	start := telemetry.NowNanos()
+	var (
+		n   int
+		err error
+	)
 	if fast, ok := impl.b.(fastRoundTripperInto); ok && len(impl.chain) == 0 {
-		return fast.fastRoundTripInto(dst, x)
+		n, err = fast.fastRoundTripInto(dst, x)
+		if err != nil {
+			// The fused path bypasses encodePayload/decodePayload, so the
+			// error is counted here; the staged path counts at the choke
+			// points and must not double-count.
+			impl.m.countErr(err)
+			return n, err
+		}
+		impl.m.inputBytes.Add(uint64(x.SizeBytes()))
+		impl.m.payloadBytes.Add(uint64(n))
+	} else {
+		if n, err = stagedRoundTripInto(impl, dst, x); err != nil {
+			return n, err
+		}
 	}
-	return stagedRoundTripInto(impl, dst, x)
+	impl.m.roundTripCalls.Inc()
+	impl.m.roundTripNs.ObserveSince(start)
+	return n, nil
 }
 
 // codecImpl frames a backend plus its stage chain behind the Codec
@@ -150,6 +171,12 @@ type codecImpl struct {
 	spec  string
 	b     backend
 	chain []Stage
+
+	// Metric handles, resolved once at construction (see metrics.go).
+	// Nil on hand-constructed impls in tests: every recording call is
+	// nil-safe, so unwired codecs simply record nothing.
+	m      *codecMetrics
+	stageM []*stageMetrics
 }
 
 func (c *codecImpl) Name() string   { return c.b.name() }
@@ -208,8 +235,18 @@ func (c *codecImpl) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 	// The in-place fast paths skip payload serialization, which a stage
 	// chain requires: staged codecs always take the serialize path, and
 	// the reported size is the staged (post-chain) payload size.
+	start := telemetry.NowNanos()
 	if fast, ok := c.b.(fastRoundTripper); ok && len(c.chain) == 0 {
-		return fast.fastRoundTrip(x)
+		out, n, err := fast.fastRoundTrip(x)
+		if err != nil {
+			c.m.countErr(err)
+			return out, n, err
+		}
+		c.m.inputBytes.Add(uint64(x.SizeBytes()))
+		c.m.payloadBytes.Add(uint64(n))
+		c.m.roundTripCalls.Inc()
+		c.m.roundTripNs.ObserveSince(start)
+		return out, n, nil
 	}
 	ctx := context.Background()
 	payload, err := c.encodePayload(ctx, x)
@@ -220,6 +257,8 @@ func (c *codecImpl) RoundTrip(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	c.m.roundTripCalls.Inc()
+	c.m.roundTripNs.ObserveSince(start)
 	return out, len(payload), nil
 }
 
@@ -254,8 +293,16 @@ func Families() []string {
 }
 
 // New builds a codec from a spec string via the registry. Option errors
-// name the offending key.
+// name the offending key; every failure carries the ErrBadSpec kind.
 func New(spec string) (Codec, error) {
+	c, err := newCodec(spec)
+	if err != nil {
+		return nil, markErr(ErrBadSpec, err)
+	}
+	return c, nil
+}
+
+func newCodec(spec string) (Codec, error) {
 	parsed, err := ParseSpec(spec)
 	if err != nil {
 		return nil, err
@@ -282,7 +329,13 @@ func New(spec string) (Codec, error) {
 		}
 		chain = append(chain, st)
 	}
-	return &codecImpl{spec: canonicalSpec(parsed.Family, b, chain), b: b, chain: chain}, nil
+	impl := &codecImpl{spec: canonicalSpec(parsed.Family, b, chain), b: b, chain: chain}
+	impl.m = metricsFor(impl.spec)
+	impl.stageM = make([]*stageMetrics, len(chain))
+	for i, st := range chain {
+		impl.stageM[i] = stageMetricsFor(st.Name())
+	}
+	return impl, nil
 }
 
 // ValidKeys reports the option keys a family's builder consults — the

@@ -126,7 +126,7 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	var hdr Header
 	var fixed [8]byte
 	if _, err := io.ReadFull(br, fixed[:]); err != nil {
-		return hdr, nil, fmt.Errorf("codec: reading container header: %w", err)
+		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading container header: %w", err))
 	}
 	if m := binary.LittleEndian.Uint32(fixed[0:]); m != containerMagic {
 		return hdr, nil, fmt.Errorf("codec: bad magic %#x (not an ACCF container)", m)
@@ -141,7 +141,7 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	}
 	spec := make([]byte, specLen)
 	if _, err := io.ReadFull(br, spec); err != nil {
-		return hdr, nil, fmt.Errorf("codec: reading spec: %w", err)
+		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading spec: %w", err))
 	}
 	hdr.Spec = string(spec)
 	// The version byte and the spec's stage chain must agree: a v1
@@ -152,14 +152,14 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	}
 	rank, err := br.ReadByte()
 	if err != nil {
-		return hdr, nil, fmt.Errorf("codec: reading rank: %w", err)
+		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading rank: %w", err))
 	}
 	if rank == 0 || int(rank) > maxRank {
 		return hdr, nil, fmt.Errorf("codec: rank %d outside [1,%d]", rank, maxRank)
 	}
 	dims := make([]byte, 4*int(rank))
 	if _, err := io.ReadFull(br, dims); err != nil {
-		return hdr, nil, fmt.Errorf("codec: reading dims: %w", err)
+		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading dims: %w", err))
 	}
 	hdr.Shape = make([]int, rank)
 	elems := 1
@@ -176,7 +176,7 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	}
 	var trailer [8]byte
 	if _, err := io.ReadFull(br, trailer[:]); err != nil {
-		return hdr, nil, fmt.Errorf("codec: reading payload header: %w", err)
+		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading payload header: %w", err))
 	}
 	// Validate the claimed length as uint32 before converting: on 32-bit
 	// platforms int(uint32 ≥ 2³¹) wraps negative, which would slip past
@@ -191,11 +191,11 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 	// so truncated streams fail before a large allocation.
 	var payBuf bytes.Buffer
 	if _, err := io.CopyN(&payBuf, br, int64(payLen)); err != nil {
-		return hdr, nil, fmt.Errorf("codec: reading %d-byte payload: %w", payLen, err)
+		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading %d-byte payload: %w", payLen, err))
 	}
 	payload := payBuf.Bytes()
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return hdr, nil, fmt.Errorf("codec: payload CRC mismatch (stored %#x, computed %#x)", wantCRC, got)
+		return hdr, nil, markErr(ErrCRC, fmt.Errorf("codec: payload CRC mismatch (stored %#x, computed %#x)", wantCRC, got))
 	}
 	hdr.wireSize = 17 + specLen + 4*int(rank) + payLen
 	return hdr, payload, nil

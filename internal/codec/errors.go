@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// Typed error kinds. Decode and stream failures used to be free-form
+// strings only; these sentinels classify them into the stable families
+// the telemetry error counters are labeled with, and give callers an
+// errors.Is target that survives message rewording. Existing messages
+// are unchanged: kinds ride on a wrapper whose Error() is exactly the
+// underlying error's text.
+var (
+	// ErrCRC marks checksum mismatches: the v1 payload CRC, the v2
+	// record-header CRC, and the v2 chunk CRCs.
+	ErrCRC = errors.New("codec: CRC mismatch")
+	// ErrTruncated marks inputs that end before their framing says they
+	// should (io.ErrUnexpectedEOF-shaped failures, mid-record EOF).
+	ErrTruncated = errors.New("codec: truncated input")
+	// ErrBadSpec marks unparseable or unknown codec specs, whether from
+	// a caller or from a container/record header.
+	ErrBadSpec = errors.New("codec: bad spec")
+	// ErrCanceled marks failures caused by context cancellation or
+	// deadline expiry.
+	ErrCanceled = errors.New("codec: operation canceled")
+)
+
+// kindError attaches a sentinel kind to an error without altering its
+// message: Error() is the wrapped error's text verbatim, and Unwrap
+// exposes both the kind (for errors.Is(err, ErrCRC)) and the original
+// chain (for errors.Is on io.ErrUnexpectedEOF etc.).
+type kindError struct {
+	kind error
+	err  error
+}
+
+func (e *kindError) Error() string   { return e.err.Error() }
+func (e *kindError) Unwrap() []error { return []error{e.kind, e.err} }
+
+// markErr wraps err with a kind sentinel; nil passes through.
+func markErr(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &kindError{kind: kind, err: err}
+}
+
+// markIOTruncation tags read errors whose chain says the input ended
+// early (io.EOF / io.ErrUnexpectedEOF); other I/O errors pass through
+// unmarked.
+func markIOTruncation(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return markErr(ErrTruncated, err)
+	}
+	return err
+}
+
+// ErrorKind classifies an error into the stable label the telemetry
+// error counters use: "crc", "truncated", "bad_spec", "canceled", or
+// "other". Unmarked errors still classify when their chain carries the
+// standard sentinels (io.ErrUnexpectedEOF, context.Canceled,
+// context.DeadlineExceeded). A nil error returns "".
+func ErrorKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCRC):
+		return "crc"
+	case errors.Is(err, ErrTruncated), errors.Is(err, io.ErrUnexpectedEOF):
+		return "truncated"
+	case errors.Is(err, ErrBadSpec):
+		return "bad_spec"
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	}
+	return "other"
+}

@@ -57,7 +57,7 @@ func forEachPlane(ctx context.Context, planes int, fn func(p int) error) error {
 	// per-plane cancellation checks entirely for them.
 	cancellable := ctx.Done() != nil
 	if cancellable && ctx.Err() != nil {
-		return fmt.Errorf("codec: plane pipeline: %w", ctx.Err())
+		return markErr(ErrCanceled, fmt.Errorf("codec: plane pipeline: %w", ctx.Err()))
 	}
 	workers := maxWorkers
 	if workers > planes {
@@ -66,7 +66,7 @@ func forEachPlane(ctx context.Context, planes int, fn func(p int) error) error {
 	if workers <= 1 {
 		for p := 0; p < planes; p++ {
 			if cancellable && ctx.Err() != nil {
-				return fmt.Errorf("codec: plane pipeline cancelled before plane %d: %w", p, ctx.Err())
+				return markErr(ErrCanceled, fmt.Errorf("codec: plane pipeline cancelled before plane %d: %w", p, ctx.Err()))
 			}
 			if err := fn(p); err != nil {
 				return err
@@ -109,7 +109,7 @@ func forEachPlane(ctx context.Context, planes int, fn func(p int) error) error {
 			if claimed > planes {
 				claimed = planes
 			}
-			return fmt.Errorf("codec: plane pipeline cancelled after claiming %d of %d planes: %w", claimed, planes, err)
+			return markErr(ErrCanceled, fmt.Errorf("codec: plane pipeline cancelled after claiming %d of %d planes: %w", claimed, planes, err))
 		}
 	}
 	return nil

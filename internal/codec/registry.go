@@ -20,8 +20,16 @@ type Spec struct {
 
 // ParseSpec splits a spec string into family, options, and stage
 // suffixes. It rejects empty families, empty keys, and duplicate keys,
-// naming the offender.
+// naming the offender. Failures carry the ErrBadSpec kind.
 func ParseSpec(s string) (Spec, error) {
+	spec, err := parseSpec(s)
+	if err != nil {
+		return spec, markErr(ErrBadSpec, err)
+	}
+	return spec, nil
+}
+
+func parseSpec(s string) (Spec, error) {
 	base, stages := splitSpecStages(strings.TrimSpace(s))
 	for _, st := range stages {
 		if strings.TrimSpace(st) == "" {

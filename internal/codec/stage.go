@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/entropy"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -152,34 +153,59 @@ func stagedSizeHint(shape []int) int {
 	return hint
 }
 
-// encodePayload runs the family encoder, then each stage forward.
+// encodePayload runs the family encoder, then each stage forward. It is
+// the compress-side metric choke point: every Compress, stream record
+// encode, and staged round trip passes through here.
 func (c *codecImpl) encodePayload(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
+	start := telemetry.NowNanos()
 	payload, err := c.b.encode(ctx, x)
 	if err != nil {
+		c.m.countErr(err)
 		return nil, err
 	}
-	for _, st := range c.chain {
+	for i, st := range c.chain {
+		ts := telemetry.NowNanos()
 		if payload, err = st.Forward(ctx, payload); err != nil {
+			c.m.countErr(err)
 			return nil, fmt.Errorf("codec: stage %s forward: %w", st.Name(), err)
 		}
+		c.stageM[i].forwardNs.ObserveSince(ts)
 	}
+	c.m.compressCalls.Inc()
+	c.m.compressNs.ObserveSince(start)
+	c.m.inputBytes.Add(uint64(x.SizeBytes()))
+	c.m.payloadBytes.Add(uint64(len(payload)))
 	return payload, nil
 }
 
 // decodePayload runs the stages inverse in reverse order, then the
-// family decoder.
+// family decoder — the decompress-side metric choke point.
 func (c *codecImpl) decodePayload(ctx context.Context, payload []byte, shape []int) (*tensor.Tensor, error) {
+	start := telemetry.NowNanos()
+	inBytes := len(payload)
 	if len(c.chain) > 0 {
 		hint := stagedSizeHint(shape)
 		var err error
 		for i := len(c.chain) - 1; i >= 0; i-- {
 			st := c.chain[i]
+			ts := telemetry.NowNanos()
 			if payload, err = st.Inverse(ctx, payload, hint); err != nil {
+				c.m.countErr(err)
 				return nil, fmt.Errorf("codec: stage %s inverse: %w", st.Name(), err)
 			}
+			c.stageM[i].inverseNs.ObserveSince(ts)
 		}
 	}
-	return c.b.decode(ctx, payload, shape)
+	out, err := c.b.decode(ctx, payload, shape)
+	if err != nil {
+		c.m.countErr(err)
+		return nil, err
+	}
+	c.m.decompressCalls.Inc()
+	c.m.decompressNs.ObserveSince(start)
+	c.m.decodeBytes.Add(uint64(inBytes))
+	c.m.outputBytes.Add(uint64(out.SizeBytes()))
+	return out, nil
 }
 
 // ---------------------------------------------------------------------

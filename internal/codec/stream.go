@@ -9,6 +9,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -90,6 +91,62 @@ type StreamWriter struct {
 	locked  bool
 	records atomic.Int64
 	eng     *swEngine
+
+	// Per-writer statistics (see Stats). These count unconditionally —
+	// they are plain atomics with no allocation — while the matching
+	// global telemetry metrics honor the telemetry enable switch.
+	admitted atomic.Int64 // records accepted by WriteTensor
+	bytesIn  atomic.Int64 // uncompressed bytes admitted
+	bytesOut atomic.Int64 // encoded payload bytes emitted
+}
+
+// StreamWriterStats is a point-in-time snapshot of one writer's
+// counters and back-pressure state. With the pipelined engine enabled,
+// RecordsAdmitted can lead RecordsEmitted by up to the job quota;
+// InFlightBytes is the uncompressed bytes of records admitted but not
+// yet emitted, bounded by BudgetBytes (see SetMaxInFlightBytes) except
+// that one oversized record may exceed the budget while alone in the
+// pipeline. For the serial writer the three engine fields are zero.
+type StreamWriterStats struct {
+	RecordsAdmitted   int64
+	RecordsEmitted    int64
+	UncompressedBytes int64
+	PayloadBytes      int64
+	InFlightBytes     int64
+	MaxInFlightBytes  int64 // high-water mark of InFlightBytes
+	BudgetBytes       int64
+}
+
+// Stats returns the writer's current statistics. Safe to call
+// concurrently with WriteTensor, including from other goroutines while
+// the pipelined engine is running.
+func (sw *StreamWriter) Stats() StreamWriterStats {
+	s := StreamWriterStats{
+		RecordsAdmitted:   sw.admitted.Load(),
+		RecordsEmitted:    sw.records.Load(),
+		UncompressedBytes: sw.bytesIn.Load(),
+		PayloadBytes:      sw.bytesOut.Load(),
+	}
+	if sw.eng != nil {
+		sw.eng.mu.Lock()
+		s.InFlightBytes = sw.eng.inflight
+		s.MaxInFlightBytes = sw.eng.maxInFlight
+		s.BudgetBytes = sw.eng.budget
+		sw.eng.mu.Unlock()
+	}
+	return s
+}
+
+// noteAdmitted records one accepted record and returns its 1-based
+// sequence number (the trace record id). Called by the serial
+// WriteTensor path and by the engine once admission succeeds.
+func (sw *StreamWriter) noteAdmitted(cost int64) int64 {
+	seq := sw.admitted.Add(1)
+	sw.bytesIn.Add(cost)
+	streamM.wAdmitted.Inc()
+	streamM.wBytesIn.Add(uint64(cost))
+	telemetry.TraceRecord(seq, telemetry.PhaseAdmitted)
+	return seq
 }
 
 // NewStreamWriter returns a StreamWriter targeting w. The stream header
@@ -153,10 +210,12 @@ func (sw *StreamWriter) WriteTensor(ctx context.Context, c Codec, x *tensor.Tens
 	if sw.eng != nil {
 		return sw.eng.submit(ctx, impl, shape, x)
 	}
+	seq := sw.noteAdmitted(int64(x.SizeBytes()))
 	payload, err := impl.encodePayload(ctx, x)
 	if err != nil {
 		return err
 	}
+	telemetry.TraceRecord(seq, telemetry.PhaseEncoded)
 	return sw.emitRecord(impl.spec, shape, payload)
 }
 
@@ -209,7 +268,13 @@ func (sw *StreamWriter) emitRecord(spec string, shape []int, payload []byte) err
 		}
 		off += n
 	}
-	sw.records.Add(1)
+	seq := sw.records.Add(1)
+	sw.bytesOut.Add(int64(len(payload)))
+	streamM.wRecords.Inc()
+	streamM.wBytesOut.Add(uint64(len(payload)))
+	// Emission is strictly in admission order, so the emitted record's
+	// sequence number equals the running emit count.
+	telemetry.TraceRecord(seq, telemetry.PhaseEmitted)
 	return nil
 }
 
@@ -261,6 +326,46 @@ type StreamReader struct {
 	// prefetch goroutine owns every field above and the public methods
 	// serve from ra's queue instead (see stream_parallel.go).
 	ra *readAhead
+
+	// Per-reader statistics (see Stats). Atomics, because in read-ahead
+	// mode the prefetch goroutine updates them while the consumer reads.
+	nRecords      atomic.Int64
+	nChunks       atomic.Int64
+	nPayloadBytes atomic.Int64
+	nDecodedBytes atomic.Int64
+	nCRCFail      atomic.Int64
+	nRAHits       atomic.Int64
+	nRAMiss       atomic.Int64
+}
+
+// StreamReaderStats is a point-in-time snapshot of one reader's
+// counters. In read-ahead mode Records/Chunks/PayloadBytes/DecodedBytes
+// track the background prefetcher, so they can lead the records the
+// consumer has taken from Next; ReadAheadHits counts Next calls served
+// without blocking on the prefetcher, ReadAheadMisses the calls that
+// had to wait (both zero without SetReadAhead).
+type StreamReaderStats struct {
+	Records         int64
+	Chunks          int64
+	PayloadBytes    int64
+	DecodedBytes    int64
+	CRCFailures     int64
+	ReadAheadHits   int64
+	ReadAheadMisses int64
+}
+
+// Stats returns the reader's current statistics. Safe to call
+// concurrently with the read-ahead prefetcher.
+func (sr *StreamReader) Stats() StreamReaderStats {
+	return StreamReaderStats{
+		Records:         sr.nRecords.Load(),
+		Chunks:          sr.nChunks.Load(),
+		PayloadBytes:    sr.nPayloadBytes.Load(),
+		DecodedBytes:    sr.nDecodedBytes.Load(),
+		CRCFailures:     sr.nCRCFail.Load(),
+		ReadAheadHits:   sr.nRAHits.Load(),
+		ReadAheadMisses: sr.nRAMiss.Load(),
+	}
 }
 
 // NewStreamReader validates the stream header and returns a reader
@@ -294,6 +399,14 @@ func (sr *StreamReader) readFull(p []byte) error {
 // sticky failure.
 func (sr *StreamReader) posf(format string, args ...any) error {
 	err := fmt.Errorf("codec: stream offset %d (record %d): %s", sr.off, sr.rec, fmt.Sprintf(format, args...))
+	sr.err = err
+	return err
+}
+
+// poskf is posf with a typed error kind attached (see errors.go): the
+// message is identical, errors.Is additionally matches the kind.
+func (sr *StreamReader) poskf(kind error, format string, args ...any) error {
+	err := markErr(kind, fmt.Errorf("codec: stream offset %d (record %d): %s", sr.off, sr.rec, fmt.Sprintf(format, args...)))
 	sr.err = err
 	return err
 }
@@ -371,7 +484,9 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 		return Header{}, sr.posw("reading header CRC", noEOF(err))
 	}
 	if want, got := binary.LittleEndian.Uint32(crcBuf[:]), crc32.ChecksumIEEE(raw); want != got {
-		return Header{}, sr.posf("record header CRC mismatch (stored %#x, computed %#x)", want, got)
+		sr.nCRCFail.Add(1)
+		streamM.rCRCFail.Inc()
+		return Header{}, sr.poskf(ErrCRC, "record header CRC mismatch (stored %#x, computed %#x)", want, got)
 	}
 
 	hdr := Header{Spec: string(raw[3 : 3+specLen])}
@@ -400,6 +515,8 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 	hdr.wireSize = len(raw) + 4
 	sr.hdr = hdr
 	sr.cur = &payloadReader{sr: sr, remaining: int(payLen)}
+	sr.nRecords.Add(1)
+	streamM.rRecords.Inc()
 	return hdr, nil
 }
 
@@ -413,6 +530,7 @@ func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error
 	if sr.cur == nil {
 		return nil, fmt.Errorf("codec: no pending record (call Next first)")
 	}
+	start := telemetry.NowNanos()
 	c, ok := sr.codecs[sr.hdr.Spec]
 	var err error
 	if !ok {
@@ -443,6 +561,9 @@ func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error
 		return nil, sr.posf("%d trailing payload bytes after decode", sr.cur.len())
 	}
 	sr.cur = nil
+	sr.nDecodedBytes.Add(int64(out.SizeBytes()))
+	streamM.rDecoded.Add(uint64(out.SizeBytes()))
+	streamM.rDecodeNs.ObserveSince(start)
 	return out, nil
 }
 
@@ -472,12 +593,13 @@ func (sr *StreamReader) skipRecord() error {
 
 // noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a record (or
 // before the end marker) running out of bytes is a truncation, and a
-// bare io.EOF would masquerade as a clean end of stream.
+// bare io.EOF would masquerade as a clean end of stream. Either way the
+// result carries the ErrTruncated kind.
 func noEOF(err error) error {
 	if err == io.EOF {
-		return io.ErrUnexpectedEOF
+		err = io.ErrUnexpectedEOF
 	}
-	return err
+	return markIOTruncation(err)
 }
 
 // payloadReader streams one record's chunked payload. It implements
@@ -519,6 +641,8 @@ func (r *payloadReader) Read(p []byte) (int, error) {
 		r.wantCRC = binary.LittleEndian.Uint32(ch[4:])
 		r.crc = 0
 		r.chunkOff = r.sr.off
+		r.sr.nChunks.Add(1)
+		streamM.rChunks.Inc()
 	}
 	n := len(p)
 	if n > r.chunkLeft {
@@ -530,8 +654,12 @@ func (r *payloadReader) Read(p []byte) (int, error) {
 	r.crc = crc32.Update(r.crc, crc32.IEEETable, p[:n])
 	r.chunkLeft -= n
 	r.remaining -= n
+	r.sr.nPayloadBytes.Add(int64(n))
+	streamM.rBytes.Add(uint64(n))
 	if r.chunkLeft == 0 && r.crc != r.wantCRC {
-		return 0, r.sr.posf("chunk at offset %d CRC mismatch (stored %#x, computed %#x)", r.chunkOff, r.wantCRC, r.crc)
+		r.sr.nCRCFail.Add(1)
+		streamM.rCRCFail.Inc()
+		return 0, r.sr.poskf(ErrCRC, "chunk at offset %d CRC mismatch (stored %#x, computed %#x)", r.chunkOff, r.wantCRC, r.crc)
 	}
 	return n, nil
 }
@@ -553,7 +681,7 @@ func (r *payloadReader) readFull(p []byte) error {
 		n, err := r.Read(p[off:])
 		if err != nil {
 			if err == io.EOF {
-				return r.sr.posf("payload truncated: want %d more bytes", len(p)-off)
+				return r.sr.poskf(ErrTruncated, "payload truncated: want %d more bytes", len(p)-off)
 			}
 			return err
 		}

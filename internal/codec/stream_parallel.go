@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -91,6 +93,7 @@ type swJob struct {
 	spec    string
 	shape   []int
 	cost    int64
+	seq     int64 // 1-based admission sequence (the trace record id)
 	payload []byte
 	err     error
 	done    chan struct{} // closed by the worker that finishes the job
@@ -141,10 +144,14 @@ func (e *swEngine) start() {
 	e.stop = make(chan struct{})
 	e.emitDone = make(chan struct{})
 	e.wg.Add(w)
+	streamM.wBudget.Set(e.budget)
+	// pprof labels tag the engine's goroutines in CPU and goroutine
+	// profiles, so encode work is attributable per role under
+	// /debug/pprof even when the stack alone is ambiguous.
 	for i := 0; i < w; i++ {
-		go e.worker()
+		go pprof.Do(context.Background(), pprof.Labels("acc_role", "stream-encode-worker"), func(context.Context) { e.worker() })
 	}
-	go e.emitter()
+	go pprof.Do(context.Background(), pprof.Labels("acc_role", "stream-emitter"), func(context.Context) { e.emitter() })
 }
 
 // Err returns the engine's sticky failure.
@@ -184,6 +191,7 @@ func (e *swEngine) submit(ctx context.Context, impl *codecImpl, shape []int, x *
 		spec:  impl.spec,
 		shape: shape,
 		cost:  cost,
+		seq:   e.sw.noteAdmitted(cost),
 		done:  make(chan struct{}),
 	}
 	// Both sends are guaranteed non-blocking: the slot acquired above
@@ -239,6 +247,7 @@ func (e *swEngine) acquire(ctx context.Context, cost int64) error {
 		e.maxInFlight = e.inflight
 	}
 	e.mu.Unlock()
+	streamM.wInflight.Add(cost)
 	return nil
 }
 
@@ -249,6 +258,7 @@ func (e *swEngine) release(cost int64) {
 	e.inflight -= cost
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	streamM.wInflight.Add(-cost)
 	<-e.slots
 }
 
@@ -266,9 +276,16 @@ func (e *swEngine) worker() {
 			continue
 		default:
 		}
+		streamM.wWorkers.Add(1)
+		ts := telemetry.NowNanos()
 		payload, err := job.c.encodePayload(job.ctx, job.x)
+		streamM.wEncodeNs.ObserveSince(ts)
+		streamM.wWorkers.Add(-1)
 		if err == nil && len(payload) > maxPayload {
 			err = fmt.Errorf("codec: payload %d bytes exceeds limit %d", len(payload), maxPayload)
+		}
+		if err == nil {
+			telemetry.TraceRecord(job.seq, telemetry.PhaseEncoded)
 		}
 		job.payload, job.err = payload, err
 		close(job.done)
@@ -363,7 +380,7 @@ func (sr *StreamReader) SetReadAhead(ctx context.Context, depth int) error {
 		depth = 1
 	}
 	sr.ra = &readAhead{ch: make(chan raEntry, depth)}
-	go sr.prefetch(ctx)
+	go pprof.Do(context.Background(), pprof.Labels("acc_role", "stream-readahead"), func(context.Context) { sr.prefetch(ctx) })
 	return nil
 }
 
@@ -411,6 +428,15 @@ func (sr *StreamReader) Next() (Header, error) {
 		return Header{}, sr.ra.err
 	}
 	sr.ra.cur = nil
+	// A non-empty queue means the prefetcher stayed ahead of the
+	// consumer; an empty one means this Next will block on it.
+	if len(sr.ra.ch) > 0 {
+		sr.nRAHits.Add(1)
+		streamM.rRAHits.Inc()
+	} else {
+		sr.nRAMiss.Add(1)
+		streamM.rRAMiss.Inc()
+	}
 	ent, ok := <-sr.ra.ch
 	if !ok {
 		// Prefetcher aborted by its context before reporting an error.

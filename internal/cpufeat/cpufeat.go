@@ -57,6 +57,7 @@ var active Features
 func init() {
 	detected = detect()
 	active = applyOverrides(detected, os.Getenv)
+	publishFeatureGauges()
 }
 
 // Have returns the active feature set: hardware capabilities with the

@@ -1,0 +1,24 @@
+package cpufeat
+
+import "repro/internal/telemetry"
+
+// publishFeatureGauges mirrors the active (post-override) feature set
+// into 0/1 telemetry gauges, so a metrics snapshot is self-describing
+// about which kernel paths the process could dispatch to. Called from
+// this package's init, after overrides are applied.
+func publishFeatureGauges() {
+	set := func(name string, on bool) {
+		g := telemetry.NewGauge("simd.cpufeat." + name)
+		if on {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+	}
+	set("sse41", active.SSE41)
+	set("sse42", active.SSE42)
+	set("avx", active.AVX)
+	set("avx2", active.AVX2)
+	set("fma", active.FMA)
+	set("neon", active.NEON)
+}

@@ -83,6 +83,7 @@ func (k *Kernel) ScratchLen(n int) int { return n * k.M(n) }
 // float32s and is fully overwritten. n must be a multiple of the block
 // size. Forward performs no allocation.
 func (k *Kernel) Forward(dst []float32, dstStride int, src []float32, srcStride, n int, scratch []float32) {
+	countKernelCall()
 	b, cf := k.b, k.cf
 	if n%b != 0 {
 		panic(fmt.Sprintf("dct: Kernel.Forward n=%d not a multiple of block size %d", n, b))
@@ -170,6 +171,7 @@ func portableColPass(d, scratch []float32, m int, coef []float32) {
 // dst receives the n×n reconstruction at dstStride. scratch must hold
 // ScratchLen(n) float32s. Inverse performs no allocation.
 func (k *Kernel) Inverse(dst []float32, dstStride int, src []float32, srcStride, n int, scratch []float32) {
+	countKernelCall()
 	b, cf := k.b, k.cf
 	if n%b != 0 {
 		panic(fmt.Sprintf("dct: Kernel.Inverse n=%d not a multiple of block size %d", n, b))

@@ -1,0 +1,21 @@
+package dct
+
+import "repro/internal/telemetry"
+
+// SIMD-dispatch counters (see the telemetry package naming scheme):
+// one pair per kernel package, counted at the per-plane/per-transform
+// entry points so hot block loops never touch an atomic.
+var (
+	simdVectorCalls   = telemetry.NewCounter("simd.dct.vector_calls")
+	simdPortableCalls = telemetry.NewCounter("simd.dct.portable_calls")
+)
+
+// countKernelCall records which path a Forward/Inverse call dispatches
+// to. colPass8 is non-nil exactly when the vector kernels are enabled.
+func countKernelCall() {
+	if colPass8 != nil {
+		simdVectorCalls.Inc()
+	} else {
+		simdPortableCalls.Inc()
+	}
+}

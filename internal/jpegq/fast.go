@@ -97,6 +97,7 @@ func inverseDCT8(dst, src *[64]float32) {
 // writing 64 coefficients per block into dst in block raster order.
 // dst must have length (h/8)·(w/8)·64.
 func quantizePlane(dst []int32, plane []float32, h, w int, table *[64]int) {
+	countPlaneCall()
 	var blk, d [64]float32
 	k := 0
 	for bi := 0; bi < h; bi += BlockSize {
@@ -128,6 +129,7 @@ func quantizePlane(dst []int32, plane []float32, h, w int, table *[64]int) {
 // dequantizePlane inverts quantizePlane: src holds 64 zigzagged
 // coefficients per block in block raster order.
 func dequantizePlane(plane []float32, src []int32, h, w int, table *[64]int) {
+	countPlaneCall()
 	var d, rec [64]float32
 	k := 0
 	for bi := 0; bi < h; bi += BlockSize {

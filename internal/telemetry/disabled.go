@@ -1,0 +1,7 @@
+//go:build acc_notelemetry
+
+package telemetry
+
+// compiled is constant false under -tags acc_notelemetry: Enabled()
+// folds to false and instrumentation branches vanish at compile time.
+const compiled = false

@@ -1,0 +1,9 @@
+//go:build !acc_notelemetry
+
+package telemetry
+
+// compiled reports whether instrumentation is compiled into the binary.
+// The default build keeps it on; -tags acc_notelemetry flips this file
+// out for disabled.go, making Enabled() a constant false so the
+// compiler dead-codes every instrumentation branch.
+const compiled = true

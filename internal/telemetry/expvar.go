@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+// expvarOnce guards against the duplicate-name panic in expvar.Publish:
+// PublishExpvar is callable from any number of entry points (the HTTP
+// handler, acc-serve, tests) and only the first call registers.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar name
+// "acc_telemetry": /debug/vars then carries the full JSON snapshot next
+// to the runtime's memstats. Snapshotting happens per scrape, not per
+// metric update, so publication adds nothing to the hot path.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("acc_telemetry", expvar.Func(func() any {
+			return std.Snapshot()
+		}))
+	})
+}

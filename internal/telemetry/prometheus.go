@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-bucketed series with _sum and
+// _count. Dotted metric names are sanitized to the Prometheus charset
+// and prefixed "acc_", so "codec.zfp:rate=8.compress_calls" becomes
+// acc_codec_zfp_rate_8_compress_calls.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Cumulative buckets up to the last non-empty one; +Inf always.
+		last := -1
+		for i, n := range h.Buckets {
+			if n != 0 {
+				last = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus metric-name
+// charset [a-zA-Z0-9_] with an "acc_" namespace prefix; every illegal
+// rune becomes '_' and runs of '_' collapse, so distinct readable names
+// stay distinct in practice.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(4 + len(name))
+	b.WriteString("acc_")
+	prevUnderscore := false
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if r == '_' {
+			if prevUnderscore {
+				continue
+			}
+			prevUnderscore = true
+		} else {
+			prevUnderscore = false
+		}
+		b.WriteRune(r)
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}

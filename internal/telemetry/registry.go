@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of metrics. Lookup/create is
+// mutex-guarded (cold path: callers hoist the returned pointer and
+// record through atomics); creation is idempotent, so re-building a
+// codec for a spec that already has metrics reuses them.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry. Most callers want Default.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// std is the process-wide registry every package-level helper uses.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// NewCounter returns the named counter from the default registry.
+func NewCounter(name string) *Counter { return std.Counter(name) }
+
+// NewGauge returns the named gauge from the default registry.
+func NewGauge(name string) *Gauge { return std.Gauge(name) }
+
+// NewHistogram returns the named histogram from the default registry.
+func NewHistogram(name string) *Histogram { return std.Histogram(name) }
+
+// Snapshot is a frozen, JSON-serializable view of a registry. Metrics
+// that never recorded anything (zero counters, empty histograms) are
+// elided, so a snapshot reflects what actually ran; gauges are kept
+// even at zero, since zero is a meaningful instantaneous value once the
+// gauge exists.
+type Snapshot struct {
+	TakenUnixNanos int64                        `json:"taken_unix_nanos,omitempty"`
+	Counters       map[string]uint64            `json:"counters,omitempty"`
+	Gauges         map[string]int64             `json:"gauges,omitempty"`
+	Histograms     map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		TakenUnixNanos: time.Now().UnixNano(),
+		Counters:       map[string]uint64{},
+		Gauges:         map[string]int64{},
+		Histograms:     map[string]HistogramSnapshot{},
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, c := range counters {
+		if v := c.Value(); v != 0 {
+			s.Counters[c.Name()] = v
+		}
+	}
+	for _, g := range gauges {
+		s.Gauges[g.Name()] = g.Value()
+	}
+	for _, h := range hists {
+		if hs := h.Snapshot(); hs.Count != 0 {
+			s.Histograms[h.Name()] = hs
+		}
+	}
+	return s
+}
+
+// Delta returns the change from an earlier snapshot of the same
+// registry: counters and histogram buckets subtract; gauges keep their
+// current (instantaneous) value. Metrics absent from the earlier
+// snapshot pass through unchanged.
+func (s Snapshot) Delta(earlier Snapshot) Snapshot {
+	out := Snapshot{
+		TakenUnixNanos: s.TakenUnixNanos,
+		Counters:       map[string]uint64{},
+		Gauges:         map[string]int64{},
+		Histograms:     map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if d := v - earlier.Counters[name]; d != 0 {
+			out.Counters[name] = d
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		prev := earlier.Histograms[name]
+		d := HistogramSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+		for i := range h.Buckets {
+			d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+		}
+		if d.Count != 0 {
+			out.Histograms[name] = d
+		}
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteHuman renders the snapshot as an aligned human-readable summary
+// (the acc-compress -stats output): counters and gauges as name/value
+// lines, histograms as count/mean/p50/p99 lines. Durations (metrics
+// named *_ns) are scaled to human units.
+func (s Snapshot) WriteHuman(w io.Writer) error {
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 {
+		_, err := fmt.Fprintln(w, "telemetry: no metrics recorded")
+		return err
+	}
+	width := 0
+	for _, m := range []int{maxKeyLen(s.Counters), maxKeyLen(s.Gauges), maxKeyLen(s.Histograms)} {
+		if m > width {
+			width = m
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		ns := len(name) > 3 && name[len(name)-3:] == "_ns"
+		if _, err := fmt.Fprintf(w, "%-*s count %d  mean %s  p50 %s  p99 %s\n",
+			width, name, h.Count,
+			histUnit(h.Mean(), ns), histUnit(float64(h.Quantile(0.50)), ns), histUnit(float64(h.Quantile(0.99)), ns)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxKeyLen returns the longest key length in m.
+func maxKeyLen[V any](m map[string]V) int {
+	n := 0
+	for k := range m {
+		if len(k) > n {
+			n = len(k)
+		}
+	}
+	return n
+}
+
+// histUnit renders a histogram statistic: durations (ns metrics) via
+// time.Duration's unit scaling, sizes as plain numbers (≈ upper bucket
+// bounds, so precision beyond two digits would be false).
+func histUnit(v float64, ns bool) string {
+	if ns {
+		return time.Duration(v).Round(time.Microsecond / 10).String()
+	}
+	return fmt.Sprintf("%.0f", v)
+}

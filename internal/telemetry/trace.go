@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The pipeline trace is an optional, lock-free ring buffer of
+// per-record lifecycle events: the stream engine stamps each record as
+// it is admitted, encoded, and emitted, and the ring keeps the most
+// recent traceRingSize events for a post-hoc look at pipeline dwell
+// times (admit→encode = queueing, encode→emit = reorder/sink stall).
+//
+// Emitting an event is one atomic cursor bump plus two atomic stores
+// into a pre-allocated slot — no locks, no allocation — so tracing can
+// stay on in production. The two words of a slot are stored (and read)
+// independently; a reader racing a writer on a wrapping slot can see a
+// torn event, which is acceptable for an advisory trace and keeps the
+// hot path free of seqlock retries. Tracing is off by default: enable
+// with ACC_TRACE=1 or SetTraceEnabled(true); the master telemetry
+// switch gates it too.
+
+// traceRingSize is the ring capacity (a power of two, so slot indexing
+// is a mask).
+const traceRingSize = 4096
+
+// Trace phases, in lifecycle order.
+const (
+	PhaseAdmitted uint8 = iota + 1 // record accepted into the pipeline
+	PhaseEncoded                   // payload encode finished
+	PhaseEmitted                   // record written to the sink
+)
+
+// PhaseName returns the human name of a trace phase.
+func PhaseName(p uint8) string {
+	switch p {
+	case PhaseAdmitted:
+		return "admitted"
+	case PhaseEncoded:
+		return "encoded"
+	case PhaseEmitted:
+		return "emitted"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one decoded ring entry.
+type TraceEvent struct {
+	Record    int64  `json:"record"` // pipeline sequence number of the record
+	Phase     string `json:"phase"`
+	UnixNanos int64  `json:"unix_nanos"`
+}
+
+// traceSlot packs one event into two independently-atomic words:
+// w0 = timestamp nanos, w1 = record<<8 | phase.
+type traceSlot struct {
+	w0 atomic.Uint64
+	w1 atomic.Uint64
+}
+
+var (
+	traceOn     atomic.Bool
+	traceCursor atomic.Uint64
+	traceRing   [traceRingSize]traceSlot
+)
+
+// TraceEnabled reports whether the pipeline trace is recording.
+func TraceEnabled() bool { return Enabled() && traceOn.Load() }
+
+// SetTraceEnabled turns the pipeline trace on or off and returns the
+// previous state.
+func SetTraceEnabled(v bool) bool {
+	prev := traceOn.Load()
+	traceOn.Store(v && compiled)
+	return prev
+}
+
+// TraceRecord stamps one lifecycle event for a record. record is the
+// caller's sequence number (the stream engine uses the admission
+// index); values are truncated to 56 bits on the wire.
+func TraceRecord(record int64, phase uint8) {
+	if !TraceEnabled() {
+		return
+	}
+	i := traceCursor.Add(1) - 1
+	slot := &traceRing[i&(traceRingSize-1)]
+	slot.w0.Store(uint64(time.Now().UnixNano()))
+	slot.w1.Store(uint64(record)<<8 | uint64(phase))
+}
+
+// TraceEvents decodes the ring, oldest first. Only slots that have
+// been written are returned; the result is a snapshot, racing writers
+// may overwrite the oldest entries while it is taken.
+func TraceEvents() []TraceEvent {
+	n := traceCursor.Load()
+	if n == 0 {
+		return nil
+	}
+	count := n
+	start := uint64(0)
+	if n > traceRingSize {
+		count = traceRingSize
+		start = n - traceRingSize
+	}
+	out := make([]TraceEvent, 0, count)
+	for i := start; i < n; i++ {
+		slot := &traceRing[i&(traceRingSize-1)]
+		w1 := slot.w1.Load()
+		if w1 == 0 {
+			continue
+		}
+		out = append(out, TraceEvent{
+			Record:    int64(w1 >> 8),
+			Phase:     PhaseName(uint8(w1)),
+			UnixNanos: int64(slot.w0.Load()),
+		})
+	}
+	return out
+}
+
+// ResetTrace clears the ring (tests; not safe concurrently with
+// writers).
+func ResetTrace() {
+	traceCursor.Store(0)
+	for i := range traceRing {
+		traceRing[i].w0.Store(0)
+		traceRing[i].w1.Store(0)
+	}
+}

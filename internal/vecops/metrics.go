@@ -1,0 +1,11 @@
+package vecops
+
+import "repro/internal/telemetry"
+
+// SIMD-dispatch counters, ticked per fill call. Fills below
+// fillThreshold take the portable loop by design and are counted as
+// portable — the counters report dispatch outcomes, not capability.
+var (
+	simdVectorCalls   = telemetry.NewCounter("simd.vecops.vector_calls")
+	simdPortableCalls = telemetry.NewCounter("simd.vecops.portable_calls")
+)

@@ -14,9 +14,11 @@ const fillThreshold = 32
 // FillUint16 sets every element of dst to v.
 func FillUint16(dst []uint16, v uint16) {
 	if simdOn && len(dst) >= fillThreshold {
+		simdVectorCalls.Inc()
 		fillUint16AVX2(&dst[0], len(dst), v)
 		return
 	}
+	simdPortableCalls.Inc()
 	for i := range dst {
 		dst[i] = v
 	}
@@ -25,9 +27,11 @@ func FillUint16(dst []uint16, v uint16) {
 // FillBytes sets every byte of dst to v.
 func FillBytes(dst []byte, v byte) {
 	if simdOn && len(dst) >= fillThreshold {
+		simdVectorCalls.Inc()
 		fillBytesAVX2(&dst[0], len(dst), v)
 		return
 	}
+	simdPortableCalls.Inc()
 	for i := range dst {
 		dst[i] = v
 	}

@@ -96,6 +96,7 @@ func (c *Codec) Compress(x *tensor.Tensor) ([]byte, error) {
 // multiples of 4) to bw. It allocates nothing, so a pooled Writer gives
 // an allocation-free compress path.
 func (c *Codec) EncodePlane(bw *bitstream.Writer, plane []float32, h, w int) {
+	countPlaneCall()
 	budget := c.blockBits()
 	var block [blockValues]float32
 	for bi := 0; bi < h; bi += BlockSize {
@@ -130,6 +131,7 @@ func (c *Codec) Decompress(data []byte, shape ...int) (*tensor.Tensor, error) {
 // DecodePlane reads every 4×4 block of one h×w plane from br into
 // plane. Like EncodePlane it allocates nothing.
 func (c *Codec) DecodePlane(br *bitstream.Reader, plane []float32, h, w int) error {
+	countPlaneCall()
 	budget := c.blockBits()
 	var block [blockValues]float32
 	for bi := 0; bi < h; bi += BlockSize {
