@@ -13,9 +13,12 @@ fi
 
 go vet ./...
 go build ./...
-# 32-bit smoke build: the framing code validates u32 lengths before
-# converting to int, and this catches any reintroduced wrap-around.
+# 32-bit smoke: the framing code validates u32 lengths (and the index
+# footer's u64 offsets) before converting to int, and element products
+# accumulate in uint64 — build plus vet of the codec packages catches
+# any reintroduced wrap-around or truncating conversion.
 GOOS=linux GOARCH=386 go build ./...
+GOOS=linux GOARCH=386 go vet ./...
 # Cross-arch smoke builds for the dispatched kernels: arm64 exercises
 # the non-amd64 stubs (constant-false dispatch), and GOAMD64=v1 checks
 # the amd64 build makes no baseline-ISA assumptions outside the
@@ -55,9 +58,17 @@ go test -tags acc_notelemetry ./internal/telemetry/ ./internal/codec/ -count=1
 # decode bit-identical to the unstaged one (and exact for lossless).
 go test ./internal/codec/ -run 'TestStagedFamilies|TestLosslessExact|TestConformanceRoundTrip' -count=1
 
+# Index conformance: seeking through the footer (DecodeAt and parallel
+# DecodeRange) must decode tensor-identically to the sequential reader,
+# seeks must read O(record) not O(stream), footer-less streams must
+# still open (rebuilt index) and — via the pinned golden v2 fixture —
+# stay byte-identical to the pre-index format.
+go test ./internal/codec/ -run 'TestIndexedMatchesSequential|TestIndexedSeekIsO1|TestIndexRebuildFallback|TestGoldenStream' -count=1
+
 # Host-kernel bench smoke: exercises the fast/dense measurement path,
-# the registry-codec round-trip benches, and the v2 stream-engine
-# throughput matrix (serial + pipelined writer) end to end. The JSON
+# the registry-codec round-trip benches, the v2 stream-engine
+# throughput matrix (serial + pipelined writer), and the seek matrix
+# (scan-vs-seek, parallel range decode) end to end. The JSON
 # goes to a temp dir so repeated runs never dirty the working tree; the
 # short benchtime means the numbers are noisy — regenerate with the
 # default benchtime before reading anything into them.

@@ -9,9 +9,9 @@ import (
 // Compare mode: load two BENCH_*.json artifacts (as written by
 // -hostbench) and print a per-config speedup/regression table. Entries
 // are matched by their stable identity — host benchmarks by name,
-// codec round-trips by spec, stream points by spec+workers — so the
-// two files may come from different bench matrices; only the
-// intersection is compared.
+// codec round-trips by spec, stream points by spec+workers, seek
+// points by mode+spec+workers — so the two files may come from
+// different bench matrices; only the intersection is compared.
 
 type compareRow struct {
 	kind   string
@@ -86,6 +86,29 @@ func compareRows(oldF, newF *hostBenchFile) []compareRow {
 		rows = append(rows, compareRow{
 			kind: "stream", key: "compress/" + key,
 			oldNs: 1e9 / o.RecordsPerS, newNs: 1e9 / e.RecordsPerS,
+		})
+	}
+
+	seekKey := func(e seekBenchEntry) string {
+		k := fmt.Sprintf("%s/%s", e.Mode, e.Spec)
+		if e.Mode == "range" {
+			k += fmt.Sprintf("/workers=%d", e.Workers)
+		}
+		return k
+	}
+	oldSeek := map[string]seekBenchEntry{}
+	for _, e := range oldF.Seek {
+		oldSeek[seekKey(e)] = e
+	}
+	for _, e := range newF.Seek {
+		key := seekKey(e)
+		o, ok := oldSeek[key]
+		if !ok || o.Records != e.Records {
+			continue
+		}
+		rows = append(rows, compareRow{
+			kind: "seek", key: key,
+			oldNs: o.NsPerOp, newNs: e.NsPerOp,
 		})
 	}
 	return rows

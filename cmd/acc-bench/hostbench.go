@@ -44,6 +44,7 @@ type hostBenchFile struct {
 	Benchmarks          []hostBenchEntry   `json:"benchmarks"`
 	Codecs              []codecBenchEntry  `json:"codecs,omitempty"`
 	Stream              []streamBenchEntry `json:"stream,omitempty"`
+	Seek                []seekBenchEntry   `json:"seek,omitempty"`
 	// Telemetry is the delta of the process-wide metric registry over
 	// the benchmark run (see internal/telemetry): per-spec codec call
 	// counts and latency histograms, stream-engine counters, and
@@ -217,6 +218,9 @@ func runHostBench(name, dir, benchtime string, full bool) error {
 		byName[e.Name] = e
 	}
 	if err := runCodecBench(&out, full, out.GOMAXPROCS); err != nil {
+		return err
+	}
+	if err := runSeekBench(&out, full, out.GOMAXPROCS); err != nil {
 		return err
 	}
 	fastKey := hostBenchCase{cfg: core.Config{ChopFactor: 4, Serialization: 1}, n: 512, op: "roundtrip"}.label()

@@ -33,6 +33,11 @@
 // stream decompression writes each record to <out>.NNN.f32, decoding
 // record by record with bounded memory.
 //
+// Streams carry a seek-index footer by default (-index=false omits
+// it), and -record N extracts a single record without scanning:
+//
+//	acc-compress -mode decompress -stream -record 2 -in batch.accs -out c.f32
+//
 // The legacy DCT+Chop flags (-cf, -s, -sg, -transform) still work and
 // map onto a dctc spec when -codec is not given.
 package main
@@ -68,6 +73,8 @@ func main() {
 		trans  = flag.String("transform", "dct8", "legacy: block transform: dct8 | zfp4")
 		device = flag.String("device", "", "simulate on a device (CS-2, SN30, GroqChip, IPU, A100)")
 		stream = flag.Bool("stream", false, "ACCF v2 stream mode: compress many inputs into one multi-tensor stream, decompress record by record")
+		index  = flag.Bool("index", true, "stream compress: append the seek-index footer (readers that predate it skip it; -index=false reproduces the footer-less format)")
+		record = flag.Int("record", -1, "stream decompress: extract only record N via the seek index, without scanning the stream")
 		stats  = flag.Bool("stats", false, "print a telemetry summary (counters, latency histograms) to stderr after the run")
 	)
 	flag.Parse()
@@ -79,7 +86,7 @@ func main() {
 	switch *mode {
 	case "compress":
 		if *stream {
-			compressStream(*in, *out, newCodec(*spec, *cf, *sg, *serial, *trans), *bd, *ch, *n)
+			compressStream(*in, *out, newCodec(*spec, *cf, *sg, *serial, *trans), *bd, *ch, *n, *index)
 			break
 		}
 		x := readTensor(*in, *bd, *ch, *n)
@@ -92,6 +99,10 @@ func main() {
 
 	case "decompress":
 		if *stream {
+			if *record >= 0 {
+				extractRecord(*in, *out, *record)
+				break
+			}
 			decompressStream(*in, *out)
 			break
 		}
@@ -146,7 +157,7 @@ func main() {
 // compressStream packs every input file (comma-separated `in` plus the
 // positional arguments, all sharing the shape flags) into one ACCF v2
 // stream at `out`.
-func compressStream(in, out string, c codec.Codec, bd, ch, n int) {
+func compressStream(in, out string, c codec.Codec, bd, ch, n int, index bool) {
 	if out == "" {
 		check(fmt.Errorf("missing -out"))
 	}
@@ -160,6 +171,7 @@ func compressStream(in, out string, c codec.Codec, bd, ch, n int) {
 	f, err := os.Create(out)
 	check(err)
 	sw := codec.NewStreamWriter(f)
+	check(sw.SetIndex(index))
 	var raw int64
 	for _, p := range ins {
 		x := readTensor(p, bd, ch, n)
@@ -199,6 +211,37 @@ func decompressStream(in, out string) {
 		check(tensorio.WriteTensor(path, x))
 		fmt.Printf("%s: record %d %v -> %s (%d bytes)\n", hdr.Spec, i, hdr.Shape, path, x.SizeBytes())
 	}
+}
+
+// extractRecord seeks straight to record `rec` of an ACCF v2 stream via
+// the index footer (falling back to a one-time header walk when the
+// stream has none) and writes just that tensor to `out`. Reads are
+// proportional to the footer plus the one record, not the stream.
+func extractRecord(in, out string, rec int) {
+	if out == "" {
+		check(fmt.Errorf("missing -out"))
+	}
+	f, err := os.Open(in)
+	check(err)
+	defer f.Close()
+	fi, err := f.Stat()
+	check(err)
+	ix, err := codec.OpenIndexedStream(f, fi.Size())
+	check(err)
+	if rec >= ix.Len() {
+		check(fmt.Errorf("record %d out of range: stream has %d records", rec, ix.Len()))
+	}
+	hdr, err := ix.Header(rec)
+	check(err)
+	x, err := ix.DecodeAt(context.Background(), rec)
+	check(err)
+	check(tensorio.WriteTensor(out, x))
+	how := "seek index"
+	if ix.Rebuilt() {
+		how = "rebuilt index (no footer)"
+	}
+	fmt.Printf("%s: record %d/%d %v -> %s (%d bytes, via %s)\n",
+		hdr.Spec, rec, ix.Len(), hdr.Shape, out, x.SizeBytes(), how)
 }
 
 // newCodec resolves the codec: an explicit -codec spec wins; otherwise

@@ -78,12 +78,15 @@ func validateFrame(spec string, shape []int, payloadLen int) error {
 	if len(shape) == 0 || len(shape) > maxRank {
 		return fmt.Errorf("codec: rank %d outside [1,%d]", len(shape), maxRank)
 	}
-	elems := 1
+	// The element product accumulates in uint64: each factor is ≤ 2²⁴ and
+	// the running product ≤ 2²⁸, so the intermediate can reach 2⁵², which
+	// a 32-bit int would wrap straight past the maxElems check.
+	elems := uint64(1)
 	for _, d := range shape {
 		if d < 1 || d > maxDim {
 			return fmt.Errorf("codec: dimension %d outside [1,%d]", d, maxDim)
 		}
-		elems *= d
+		elems *= uint64(d)
 		if elems > maxElems {
 			return fmt.Errorf("codec: shape %v exceeds %d elements", shape, maxElems)
 		}
@@ -162,14 +165,16 @@ func ReadContainer(r io.Reader) (Header, []byte, error) {
 		return hdr, nil, markIOTruncation(fmt.Errorf("codec: reading dims: %w", err))
 	}
 	hdr.Shape = make([]int, rank)
-	elems := 1
+	// uint64 accumulator for the same 32-bit wrap reason as validateFrame:
+	// the intermediate product can reach 2⁵² before the bound check.
+	elems := uint64(1)
 	for i := range hdr.Shape {
 		d := int(binary.LittleEndian.Uint32(dims[4*i:]))
 		if d < 1 || d > maxDim {
 			return hdr, nil, fmt.Errorf("codec: dimension %d outside [1,%d]", d, maxDim)
 		}
 		hdr.Shape[i] = d
-		elems *= d
+		elems *= uint64(d)
 		if elems > maxElems {
 			return hdr, nil, fmt.Errorf("codec: shape %v exceeds %d elements", hdr.Shape, maxElems)
 		}

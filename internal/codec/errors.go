@@ -25,6 +25,14 @@ var (
 	// ErrCanceled marks failures caused by context cancellation or
 	// deadline expiry.
 	ErrCanceled = errors.New("codec: operation canceled")
+	// ErrIndex marks an index footer that contradicts the stream it
+	// describes: an entry whose offset does not land on a record marker,
+	// or whose spec/shape/payload-length disagree with the CRC-verified
+	// record header found there. The footer's own CRC/framing failures
+	// carry ErrCRC/ErrTruncated like any other record; ErrIndex is
+	// specifically "valid-looking index, wrong contents" (forgery or a
+	// stream rewritten out from under its footer).
+	ErrIndex = errors.New("codec: index mismatch")
 )
 
 // kindError attaches a sentinel kind to an error without altering its
@@ -58,9 +66,9 @@ func markIOTruncation(err error) error {
 }
 
 // ErrorKind classifies an error into the stable label the telemetry
-// error counters use: "crc", "truncated", "bad_spec", "canceled", or
-// "other". Unmarked errors still classify when their chain carries the
-// standard sentinels (io.ErrUnexpectedEOF, context.Canceled,
+// error counters use: "crc", "truncated", "bad_spec", "canceled",
+// "index", or "other". Unmarked errors still classify when their chain
+// carries the standard sentinels (io.ErrUnexpectedEOF, context.Canceled,
 // context.DeadlineExceeded). A nil error returns "".
 func ErrorKind(err error) string {
 	switch {
@@ -74,6 +82,8 @@ func ErrorKind(err error) string {
 		return "bad_spec"
 	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
+	case errors.Is(err, ErrIndex):
+		return "index"
 	}
 	return "other"
 }

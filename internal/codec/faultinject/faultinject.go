@@ -309,10 +309,78 @@ func V1Regions(data []byte) ([]Region, error) {
 	return append(regs, Region{Name: "eof", Off: len(data)}), nil
 }
 
+// indexFooterRegions scans the optional 'I' index footer (marker
+// already consumed): u32 body length, body (u32 entry count, then
+// per-record entries), u32 CRC, u32 footer size, u32 trailing magic.
+// Each entry is one region; the fixed framing fields get their own.
+func indexFooterRegions(c *cursor) ([]Region, error) {
+	regs := []Region{region("footer.marker", c.off, 1)}
+	bodyLen, err := c.u32("index body length")
+	if err != nil {
+		return nil, err
+	}
+	regs = append(regs, region("footer.len", c.off, 4))
+	bodyStart := c.off
+	count, err := c.u32("index entry count")
+	if err != nil {
+		return nil, err
+	}
+	regs = append(regs, region("footer.count", c.off, 4))
+	for e := 0; e < count; e++ {
+		entryStart := c.off
+		// offset u64 + payload length u64 + marker u8
+		if err := c.need(17, "index entry fixed fields"); err != nil {
+			return nil, err
+		}
+		c.off += 17
+		specLen, err := c.u16("index entry spec length")
+		if err != nil {
+			return nil, err
+		}
+		if err := c.need(specLen, "index entry spec"); err != nil {
+			return nil, err
+		}
+		c.off += specLen
+		rank, err := c.u8("index entry rank")
+		if err != nil {
+			return nil, err
+		}
+		if err := c.need(4*rank, "index entry dims"); err != nil {
+			return nil, err
+		}
+		c.off += 4 * rank
+		regs = append(regs, region(fmt.Sprintf("footer.entry%d", e), c.off, c.off-entryStart))
+	}
+	if c.off-bodyStart != bodyLen {
+		return nil, fmt.Errorf("faultinject: index body scan consumed %d bytes, footer claims %d", c.off-bodyStart, bodyLen)
+	}
+	if _, err := c.u32("index CRC"); err != nil {
+		return nil, err
+	}
+	regs = append(regs, region("footer.crc", c.off, 4))
+	size, err := c.u32("index footer size")
+	if err != nil {
+		return nil, err
+	}
+	if size != bodyLen+17 {
+		return nil, fmt.Errorf("faultinject: index footer size %d, want body %d + 17", size, bodyLen)
+	}
+	regs = append(regs, region("footer.size", c.off, 4))
+	magic, err := c.u32("index magic")
+	if err != nil {
+		return nil, err
+	}
+	if magic != 0x58434341 {
+		return nil, fmt.Errorf("faultinject: bad index magic %#x", magic)
+	}
+	regs = append(regs, region("footer.magic", c.off, 4))
+	return regs, nil
+}
+
 // V2Regions parses an ACCF v2 stream and returns every structural
-// region of the stream header, each record header, and each payload
-// chunk, ending with a zero-length "eof" boundary after the end
-// marker.
+// region of the stream header, each record header, each payload
+// chunk, and the optional index footer, ending with a zero-length
+// "eof" boundary after the end marker.
 func V2Regions(data []byte) ([]Region, error) {
 	c := &cursor{data: data}
 	magic, err := c.u32("magic")
@@ -336,6 +404,7 @@ func V2Regions(data []byte) ([]Region, error) {
 	}
 	regs = append(regs, region("header.reserved", c.off, 2))
 
+	sawFooter := false
 	for rec := 0; ; rec++ {
 		marker, err := c.u8("record marker")
 		if err != nil {
@@ -348,7 +417,22 @@ func V2Regions(data []byte) ([]Region, error) {
 				return nil, fmt.Errorf("faultinject: %d trailing bytes after end marker", len(data)-c.off)
 			}
 			return append(regs, Region{Name: "eof", Off: len(data)}), nil
+		case 0x49: // 'I' index footer: last record before the end marker
+			if sawFooter {
+				return nil, fmt.Errorf("faultinject: duplicate index footer at offset %d", c.off-1)
+			}
+			fregs, err := indexFooterRegions(c)
+			if err != nil {
+				return nil, err
+			}
+			regs = append(regs, fregs...)
+			sawFooter = true
+			rec--
+			continue
 		case 0x54, 0x53: // 'T' plain, 'S' staged
+			if sawFooter {
+				return nil, fmt.Errorf("faultinject: tensor record after index footer at offset %d", c.off-1)
+			}
 		default:
 			return nil, fmt.Errorf("faultinject: bad record marker %#x at offset %d", marker, c.off-1)
 		}

@@ -18,7 +18,9 @@ func mk(shape ...int) *tensor.Tensor {
 	x := tensor.New(shape...)
 	d := x.Data()
 	for i := range d {
-		d[i] = float32((i*2654435761)%1000) / 999
+		// int64 arithmetic keeps this compiling (and identical) on
+		// 32-bit hosts: the Knuth constant alone overflows a 32-bit int.
+		d[i] = float32((int64(i)*2654435761)%1000) / 999
 	}
 	return x
 }
@@ -130,10 +132,11 @@ func requireRegions(t *testing.T, regions []faultinject.Region, want ...string) 
 	}
 }
 
-// buildStream assembles a three-record v2 stream spanning three codec
+// buildStream assembles a five-record v2 stream spanning several codec
 // families (and both plane framings). With parallel set, the records
-// run through the pipelined writer instead of the serial path.
-func buildStream(t *testing.T, parallel bool) []byte {
+// run through the pipelined writer instead of the serial path; with
+// indexed set, the writer appends the index footer.
+func buildStream(t *testing.T, parallel, indexed bool) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	sw := codec.NewStreamWriter(&buf)
@@ -144,6 +147,11 @@ func buildStream(t *testing.T, parallel bool) []byte {
 		}
 		if err := sw.SetMaxInFlightBytes(4 << 10); err != nil {
 			t.Fatalf("SetMaxInFlightBytes: %v", err)
+		}
+	}
+	if indexed {
+		if err := sw.SetIndex(true); err != nil {
+			t.Fatalf("SetIndex: %v", err)
 		}
 	}
 	for _, rec := range []struct {
@@ -204,7 +212,7 @@ func readStream(t *testing.T, desc string, data []byte) (err error) {
 // mutant must fail, and failures inside the record sequence must report
 // a stream byte offset.
 func TestV2FaultInjection(t *testing.T) {
-	data := buildStream(t, false)
+	data := buildStream(t, false, false)
 	if err := readStream(t, "pristine", data); err != nil {
 		t.Fatalf("pristine stream does not decode: %v", err)
 	}
@@ -244,8 +252,8 @@ func TestV2FaultInjection(t *testing.T) {
 // writer's, scan to exactly the same structural regions, and decode
 // cleanly through the read-ahead reader.
 func TestV2ParallelWriterFraming(t *testing.T) {
-	serial := buildStream(t, false)
-	parallel := buildStream(t, true)
+	serial := buildStream(t, false, false)
+	parallel := buildStream(t, true, false)
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("parallel writer output (%d bytes) differs from serial output (%d bytes)", len(parallel), len(serial))
 	}
@@ -288,4 +296,125 @@ func TestV2ParallelWriterFraming(t *testing.T) {
 	if records != 5 {
 		t.Fatalf("read-ahead reader decoded %d records, want 5", records)
 	}
+}
+
+// decodeAll sequentially decodes every record of a pristine stream.
+func decodeAll(t *testing.T, data []byte) []*tensor.Tensor {
+	t.Helper()
+	sr, err := codec.NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*tensor.Tensor
+	for {
+		if _, err := sr.Next(); err != nil {
+			if err == io.EOF {
+				return out
+			}
+			t.Fatal(err)
+		}
+		x, err := sr.Decode(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, x)
+	}
+}
+
+// sameTensor reports bit-exact equality.
+func sameTensor(a, b *tensor.Tensor) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, v := range a.Data() {
+		if v != b.Data()[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestV2IndexFaultInjection mutates every structural boundary of an
+// indexed v2 stream — the footer's framing fields and entries included.
+// The sequential reader must reject every mutant with an offset-bearing
+// error (the footer is CRC-protected and its trailing framing is
+// cross-checked). The random-access reader must never return a wrong
+// tensor: for footer-region mutants the records themselves are
+// untouched, so OpenIndexedStream must either fail outright or — via
+// the footer-CRC fallback rebuild — serve exactly the pristine tensors.
+func TestV2IndexFaultInjection(t *testing.T) {
+	data := buildStream(t, false, true)
+	if err := readStream(t, "pristine", data); err != nil {
+		t.Fatalf("pristine indexed stream does not decode: %v", err)
+	}
+	want := decodeAll(t, data)
+	regions, err := faultinject.V2Regions(data)
+	if err != nil {
+		t.Fatalf("V2Regions: %v", err)
+	}
+	requireRegions(t, regions,
+		"footer.marker", "footer.len", "footer.count",
+		"footer.entry0", "footer.entry1", "footer.entry2", "footer.entry3", "footer.entry4",
+		"footer.crc", "footer.size", "footer.magic",
+		"end.marker", "eof")
+	mutants := 0
+	for _, r := range regions {
+		footerRegion := strings.HasPrefix(r.Name, "footer.")
+		for _, m := range faultinject.Mutate(data, r) {
+			mutants++
+			err := readStream(t, m.Desc, m.Data)
+			if err == nil {
+				t.Errorf("%s: corrupted stream decoded without error", m.Desc)
+				continue
+			}
+			if r.Off >= 8 && !strings.Contains(err.Error(), "offset") {
+				t.Errorf("%s: error lacks a stream offset: %v", m.Desc, err)
+			}
+			// The random-access reader on the same mutant: no panic, and
+			// for footer-only damage either a failed open or the pristine
+			// tensors via the rebuild fallback.
+			outs, openErr := openIndexed(t, m.Desc, m.Data)
+			if !footerRegion || openErr != nil {
+				continue
+			}
+			if len(outs) != len(want) {
+				t.Errorf("%s: indexed open yields %d records, want %d", m.Desc, len(outs), len(want))
+				continue
+			}
+			for i := range outs {
+				if outs[i] == nil {
+					continue // per-record decode failed: acceptable, never wrong
+				}
+				if !sameTensor(outs[i], want[i]) {
+					t.Errorf("%s: record %d decodes to a wrong tensor under a mutated footer", m.Desc, i)
+				}
+			}
+		}
+	}
+	if mutants == 0 {
+		t.Fatal("no mutants generated")
+	}
+	t.Logf("verified %d mutants across %d regions", mutants, len(regions))
+}
+
+// openIndexed opens a mutant for random access and decodes every
+// record, converting panics into test failures. Per-record failures
+// leave a nil slot; an open failure returns the error.
+func openIndexed(t *testing.T, desc string, data []byte) (outs []*tensor.Tensor, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s: indexed decode panicked: %v", desc, r)
+			err = io.ErrUnexpectedEOF
+		}
+	}()
+	ix, err := codec.OpenIndexedStream(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	outs = make([]*tensor.Tensor, ix.Len())
+	for i := range outs {
+		outs[i], _ = ix.DecodeAt(context.Background(), i)
+	}
+	return outs, nil
 }

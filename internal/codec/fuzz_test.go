@@ -135,18 +135,24 @@ func FuzzContainerDecode(f *testing.F) {
 		f.Add(frame(hdr.Spec, hdr.Shape, huge))
 	}
 	// An ACCF v2 stream fed to the v1 decoder must be rejected by the
-	// version check, not misparsed.
-	var sb bytes.Buffer
-	sw := NewStreamWriter(&sb)
-	if c, err := New("sz:eb=1e-2"); err != nil {
-		f.Fatal(err)
-	} else if err := sw.WriteTensor(context.Background(), c, small); err != nil {
-		f.Fatal(err)
+	// version check, not misparsed — both with and without the index
+	// footer.
+	for _, withIndex := range []bool{false, true} {
+		var sb bytes.Buffer
+		sw := NewStreamWriter(&sb)
+		if err := sw.SetIndex(withIndex); err != nil {
+			f.Fatal(err)
+		}
+		if c, err := New("sz:eb=1e-2"); err != nil {
+			f.Fatal(err)
+		} else if err := sw.WriteTensor(context.Background(), c, small); err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.Bytes())
 	}
-	if err := sw.Close(); err != nil {
-		f.Fatal(err)
-	}
-	f.Add(sb.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, c, err := DecodeBytes(data)
@@ -282,6 +288,21 @@ func FuzzStreamDecode(f *testing.F) {
 		}
 	}
 
+	// Index-footer seeds: a stream carrying the optional 'I' footer, its
+	// truncations (whole trailer, mid-body), a footer-interior flip, and
+	// a forged variant whose first entry offset is shifted under a
+	// recomputed (valid) footer CRC, so the fuzzer reaches the entry
+	// validation and the seek-time header cross-check instead of
+	// bouncing off the CRC.
+	indexed := buildIndexedSeed(f, x)
+	f.Add(indexed)
+	f.Add(indexed[:len(indexed)-1])
+	f.Add(indexed[:len(indexed)-13])
+	iflip := append([]byte(nil), indexed...)
+	iflip[len(iflip)-20] ^= 0x01
+	f.Add(iflip)
+	f.Add(forgeIndexOffset(f, indexed, 3))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sr, err := NewStreamReader(bytes.NewReader(data))
 		if err != nil {
@@ -310,6 +331,113 @@ func FuzzStreamDecode(f *testing.F) {
 			}
 			if out.Len() != hdr.Elems() {
 				t.Fatalf("decoded %d elements, header claims %d", out.Len(), hdr.Elems())
+			}
+		}
+	})
+}
+
+// buildIndexedSeed writes a two-record stream with the index footer
+// enabled.
+func buildIndexedSeed(f *testing.F, x *tensor.Tensor) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	sw.SetChunkSize(4 << 10)
+	if err := sw.SetIndex(true); err != nil {
+		f.Fatal(err)
+	}
+	for _, spec := range []string{"sz:eb=1e-2", "dctc:cf=4+fse"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := sw.WriteTensor(context.Background(), c, x); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// forgeIndexOffset shifts the first index entry's offset field by delta
+// and recomputes the footer CRC, yielding a structurally valid footer
+// whose entry points into the wrong bytes.
+func forgeIndexOffset(f *testing.F, indexed []byte, delta uint64) []byte {
+	f.Helper()
+	mut := append([]byte(nil), indexed...)
+	// Tail layout: … CRC(4) S(4) magic(4) 'E'(1); footer starts S bytes
+	// before the 'E'.
+	s := binary.LittleEndian.Uint32(mut[len(mut)-9:])
+	footOff := len(mut) - 1 - int(s)
+	n := int(binary.LittleEndian.Uint32(mut[footOff+1:]))
+	entry0 := footOff + 5 + 4 // past marker, body length, entry count
+	off0 := binary.LittleEndian.Uint64(mut[entry0:])
+	binary.LittleEndian.PutUint64(mut[entry0:], off0+delta)
+	binary.LittleEndian.PutUint32(mut[footOff+5+n:], crc32.ChecksumIEEE(mut[footOff:footOff+5+n]))
+	return mut
+}
+
+// FuzzIndexedStream hardens the random-access path — the tail probe,
+// footer parsing, the rebuild walk, and per-seek decodes — against
+// arbitrary bytes: error or success, never a panic, and a tensor
+// DecodeAt returns always matches the index header it was seeked by.
+func FuzzIndexedStream(f *testing.F) {
+	x := tensor.New(2, 1, 16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%29) / 29
+	}
+	indexed := buildIndexedSeed(f, x)
+	f.Add(indexed)
+	f.Add(indexed[:len(indexed)-1])
+	f.Add(indexed[:len(indexed)/2])
+	f.Add(forgeIndexOffset(f, indexed, 3))
+	f.Add(forgeIndexOffset(f, indexed, 40))
+	iflip := append([]byte(nil), indexed...)
+	iflip[len(iflip)-20] ^= 0x01
+	f.Add(iflip)
+	// A footer-less stream (exercises the rebuild walk).
+	var plain bytes.Buffer
+	pw := NewStreamWriter(&plain)
+	pw.SetChunkSize(4 << 10)
+	if c, err := New("sz:eb=1e-2"); err != nil {
+		f.Fatal(err)
+	} else if err := pw.WriteTensor(context.Background(), c, x); err != nil {
+		f.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add([]byte{0x41, 0x43, 0x43, 0x46, 2, 0, 0, 0, 'E'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := OpenIndexedStream(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		n := ix.Len()
+		if n > 64 {
+			n = 64 // cap the per-input work; entries past this add nothing new
+		}
+		for i := 0; i < n; i++ {
+			hdr, err := ix.Header(i)
+			if err != nil {
+				t.Fatalf("Header(%d) inside Len(): %v", i, err)
+			}
+			if hdr.Elems() > 1<<22 {
+				continue
+			}
+			out, err := ix.DecodeAt(context.Background(), i)
+			if err != nil {
+				continue
+			}
+			if out == nil {
+				t.Fatal("nil tensor without error")
+			}
+			if out.Len() != hdr.Elems() {
+				t.Fatalf("record %d: decoded %d elements, index claims %d", i, out.Len(), hdr.Elems())
 			}
 		}
 	})

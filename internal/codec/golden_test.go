@@ -18,7 +18,9 @@ func goldenContainerTensor(shape ...int) *tensor.Tensor {
 	x := tensor.New(shape...)
 	d := x.Data()
 	for i := range d {
-		d[i] = float32((i*2654435761)%1000) / 999
+		// int64 arithmetic keeps this compiling (and identical) on
+		// 32-bit hosts: the Knuth constant alone overflows a 32-bit int.
+		d[i] = float32((int64(i)*2654435761)%1000) / 999
 	}
 	return x
 }

@@ -156,6 +156,12 @@ var streamM = struct {
 	rRAHits   *telemetry.Counter // Next served without waiting
 	rRAMiss   *telemetry.Counter // Next had to wait on the prefetcher
 	rDecodeNs *telemetry.Histogram
+
+	iLoads        *telemetry.Counter   // index footers loaded by OpenIndexedStream
+	iRebuilds     *telemetry.Counter   // indexes rebuilt by sequential header walk
+	iSeeks        *telemetry.Counter   // DecodeAt calls (incl. those fanned out by DecodeRange)
+	iRangeRecords *telemetry.Counter   // records decoded through DecodeRange
+	iSeekNs       *telemetry.Histogram // per-record seek+decode latency
 }{
 	wAdmitted: telemetry.NewCounter("stream.writer.records_admitted"),
 	wRecords:  telemetry.NewCounter("stream.writer.records_emitted"),
@@ -174,4 +180,10 @@ var streamM = struct {
 	rRAHits:   telemetry.NewCounter("stream.reader.readahead_hits"),
 	rRAMiss:   telemetry.NewCounter("stream.reader.readahead_misses"),
 	rDecodeNs: telemetry.NewHistogram("stream.reader.decode_ns"),
+
+	iLoads:        telemetry.NewCounter("stream.index.footer_loads"),
+	iRebuilds:     telemetry.NewCounter("stream.index.rebuilds"),
+	iSeeks:        telemetry.NewCounter("stream.index.seeks"),
+	iRangeRecords: telemetry.NewCounter("stream.index.range_records"),
+	iSeekNs:       telemetry.NewHistogram("stream.index.seek_ns"),
 }

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -59,6 +60,11 @@ const (
 	// to a family decoder. Unstaged records keep the 'T' marker, so
 	// pre-stage streams are byte-identical.
 	recStaged = 0x53 // 'S'
+	// recIndex ('I') frames the optional index footer: a CRC-protected
+	// table of every record's offset, payload length, spec, and shape,
+	// written immediately before the end marker (see stream_index.go for
+	// the wire layout and the random-access reader built on it).
+	recIndex = 0x49 // 'I'
 
 	// maxStreamChunk bounds a chunk length a record may claim.
 	maxStreamChunk = 1 << 26
@@ -91,6 +97,16 @@ type StreamWriter struct {
 	locked  bool
 	records atomic.Int64
 	eng     *swEngine
+
+	// off is the running byte offset of the stream: every write to w
+	// passes through writeStreamHeader, emitRecord, or Close, each of
+	// which advances it. With the pipelined engine only the emitter
+	// goroutine touches it mid-stream; Close reads it after drain.
+	off int64
+	// indexOn, set by SetIndex, makes Close emit the index footer;
+	// emitRecord accumulates one index entry per record while it is set.
+	indexOn bool
+	index   []indexEntry
 
 	// Per-writer statistics (see Stats). These count unconditionally —
 	// they are plain atomics with no allocation — while the matching
@@ -179,6 +195,21 @@ func (sw *StreamWriter) SetChunkSize(n int) {
 // WriteTensor calls until Close.
 func (sw *StreamWriter) Records() int { return int(sw.records.Load()) }
 
+// SetIndex enables (or disables) the index footer: with it on, Close
+// emits a CRC-protected table of every record's byte offset, payload
+// length, spec, and shape just before the end-of-stream marker, which
+// OpenIndexedStream uses for O(1) record seeks. The footer is
+// self-describing and optional: a plain StreamReader verifies and skips
+// it, and streams written without it are byte-identical to pre-index
+// writers. Must be called before the first WriteTensor.
+func (sw *StreamWriter) SetIndex(on bool) error {
+	if sw.locked || sw.closed {
+		return fmt.Errorf("codec: SetIndex must be called before the first WriteTensor")
+	}
+	sw.indexOn = on
+	return nil
+}
+
 func (sw *StreamWriter) writeStreamHeader() error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], containerMagic)
@@ -187,6 +218,7 @@ func (sw *StreamWriter) writeStreamHeader() error {
 	if _, err := sw.w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("codec: writing stream header: %w", err)
 	}
+	sw.off += int64(len(hdr))
 	sw.started = true
 	return nil
 }
@@ -237,6 +269,7 @@ func (sw *StreamWriter) emitRecord(spec string, shape []int, payload []byte) err
 	if specHasStages(spec) {
 		marker = recStaged
 	}
+	recOff := sw.off // offset of the record's marker byte, for the index
 	// Record header: marker..payload-length, then its CRC.
 	hdr := make([]byte, 0, 12+len(spec)+4*len(shape))
 	hdr = append(hdr, marker)
@@ -251,6 +284,7 @@ func (sw *StreamWriter) emitRecord(spec string, shape []int, payload []byte) err
 	if _, err := sw.w.Write(hdr); err != nil {
 		return fmt.Errorf("codec: writing record header: %w", err)
 	}
+	sw.off += int64(len(hdr))
 	for off := 0; off < len(payload); {
 		n := len(payload) - off
 		if n > sw.chunk {
@@ -266,7 +300,17 @@ func (sw *StreamWriter) emitRecord(spec string, shape []int, payload []byte) err
 		if _, err := sw.w.Write(chunk); err != nil {
 			return fmt.Errorf("codec: writing chunk: %w", err)
 		}
+		sw.off += int64(len(ch)) + int64(n)
 		off += n
+	}
+	if sw.indexOn {
+		sw.index = append(sw.index, indexEntry{
+			off:    recOff,
+			payLen: int64(len(payload)),
+			marker: marker,
+			spec:   spec,
+			shape:  append([]int(nil), shape...),
+		})
 	}
 	seq := sw.records.Add(1)
 	sw.bytesOut.Add(int64(len(payload)))
@@ -298,9 +342,15 @@ func (sw *StreamWriter) Close() error {
 			return err
 		}
 	}
+	if sw.indexOn {
+		if err := sw.writeIndexFooter(); err != nil {
+			return err
+		}
+	}
 	if _, err := sw.w.Write([]byte{recEnd}); err != nil {
 		return fmt.Errorf("codec: writing end-of-stream marker: %w", err)
 	}
+	sw.off++
 	sw.closed = true
 	return nil
 }
@@ -318,10 +368,18 @@ type StreamReader struct {
 	hdr Header
 	cur *payloadReader // pending record payload, nil between records
 	err error          // sticky failure (or io.EOF after the end marker)
+	// sawFooter flips once an index footer has been verified and
+	// skipped; only the end marker may follow it.
+	sawFooter bool
 	// codecs caches resolved codecs by spec: multi-record streams
 	// typically repeat one spec, and some backends (dctc) compile
 	// per-resolution state that must not be rebuilt per record.
 	codecs map[string]Codec
+	// shared, when non-nil, replaces the per-reader codec cache with the
+	// owning IndexedStream's mutex-guarded one, so the per-seek readers
+	// DecodeAt constructs share compiled codec state (see
+	// stream_index.go).
+	shared *IndexedStream
 	// ra, when non-nil, is the background read-ahead state: the
 	// prefetch goroutine owns every field above and the public methods
 	// serve from ra's queue instead (see stream_parallel.go).
@@ -376,14 +434,8 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	if err := sr.readFull(fixed[:]); err != nil {
 		return nil, fmt.Errorf("codec: reading stream header: %w", err)
 	}
-	if m := binary.LittleEndian.Uint32(fixed[0:]); m != containerMagic {
-		return nil, fmt.Errorf("codec: bad magic %#x (not an ACCF stream)", m)
-	}
-	if v := binary.LittleEndian.Uint16(fixed[4:]); v != streamVersion {
-		return nil, fmt.Errorf("codec: unsupported stream version %d (want %d)", v, streamVersion)
-	}
-	if rsv := binary.LittleEndian.Uint16(fixed[6:]); rsv != 0 {
-		return nil, fmt.Errorf("codec: nonzero reserved field %#x in stream header", rsv)
+	if err := checkStreamHeader(fixed[:]); err != nil {
+		return nil, err
 	}
 	return sr, nil
 }
@@ -433,25 +485,45 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 			return Header{}, err
 		}
 	}
-	marker, err := sr.br.ReadByte()
-	if err != nil {
-		return Header{}, sr.posw("reading record marker", noEOF(err))
-	}
-	sr.off++
-	switch marker {
-	case recEnd:
-		// Nothing may follow the end marker: a concatenation or a
-		// duplicated tail is a framing error, not silently ignored.
-		if _, err := sr.br.ReadByte(); err == nil {
-			return Header{}, sr.posf("trailing data after end-of-stream marker")
-		} else if err != io.EOF {
-			return Header{}, sr.posw("probing for end of stream", err)
+	var marker byte
+	for {
+		var err error
+		marker, err = sr.br.ReadByte()
+		if err != nil {
+			return Header{}, sr.posw("reading record marker", noEOF(err))
 		}
-		sr.err = io.EOF
-		return Header{}, io.EOF
-	case recTensor, recStaged:
-	default:
-		return Header{}, sr.posf("bad record marker %#x", marker)
+		sr.off++
+		switch marker {
+		case recEnd:
+			// Nothing may follow the end marker: a concatenation or a
+			// duplicated tail is a framing error, not silently ignored.
+			if _, err := sr.br.ReadByte(); err == nil {
+				return Header{}, sr.posf("trailing data after end-of-stream marker")
+			} else if err != io.EOF {
+				return Header{}, sr.posw("probing for end of stream", err)
+			}
+			sr.err = io.EOF
+			return Header{}, io.EOF
+		case recIndex:
+			// The index footer is for random-access readers; the
+			// sequential reader verifies its CRC and framing, then skips
+			// it. It must be the last record before the end marker.
+			if sr.sawFooter {
+				return Header{}, sr.posf("duplicate index footer")
+			}
+			if err := sr.skipIndexFooter(); err != nil {
+				return Header{}, err
+			}
+			sr.sawFooter = true
+			continue
+		case recTensor, recStaged:
+			if sr.sawFooter {
+				return Header{}, sr.posf("tensor record after index footer")
+			}
+		default:
+			return Header{}, sr.posf("bad record marker %#x", marker)
+		}
+		break
 	}
 	sr.rec++
 
@@ -496,14 +568,18 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 		return Header{}, sr.posf("record marker %#x does not match spec %q", marker, hdr.Spec)
 	}
 	hdr.Shape = make([]int, rank)
-	elems := 1
+	// The element product accumulates in uint64: dims are validated to
+	// ≤ 2²⁴ and the running product to ≤ 2²⁸ before each multiply, so the
+	// intermediate stays ≤ 2⁵², which a 32-bit int would wrap straight
+	// past the maxElems check.
+	elems := uint64(1)
 	for i := range hdr.Shape {
 		d := binary.LittleEndian.Uint32(raw[base+4*i:])
 		if d < 1 || d > maxDim {
 			return Header{}, sr.posf("dimension %d outside [1,%d]", d, maxDim)
 		}
 		hdr.Shape[i] = int(d)
-		elems *= int(d)
+		elems *= uint64(d)
 		if elems > maxElems {
 			return Header{}, sr.posf("shape %v exceeds %d elements", hdr.Shape, maxElems)
 		}
@@ -517,7 +593,32 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 	sr.cur = &payloadReader{sr: sr, remaining: int(payLen)}
 	sr.nRecords.Add(1)
 	streamM.rRecords.Inc()
-	return hdr, nil
+	// The caller gets its own copy of the shape: the reader keeps using
+	// sr.hdr.Shape for the decode, so a caller mutating the returned
+	// header cannot redirect it (and nothing the reader does later can
+	// touch the caller's slice).
+	ret := hdr
+	ret.Shape = append([]int(nil), hdr.Shape...)
+	return ret, nil
+}
+
+// lookupCodec resolves a codec for spec through the reader's cache — or,
+// for the per-seek readers an IndexedStream constructs, through the
+// stream's shared mutex-guarded cache, so compiled per-resolution codec
+// state is built once no matter how many parallel seeks hit the spec.
+func (sr *StreamReader) lookupCodec(spec string) (Codec, error) {
+	if sr.shared != nil {
+		return sr.shared.lookupCodec(spec)
+	}
+	if c, ok := sr.codecs[spec]; ok {
+		return c, nil
+	}
+	c, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	sr.codecs[spec] = c
+	return c, nil
 }
 
 // decodeRecord decompresses the pending record into a tensor, streaming
@@ -531,13 +632,9 @@ func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error
 		return nil, fmt.Errorf("codec: no pending record (call Next first)")
 	}
 	start := telemetry.NowNanos()
-	c, ok := sr.codecs[sr.hdr.Spec]
-	var err error
-	if !ok {
-		if c, err = New(sr.hdr.Spec); err != nil {
-			return nil, sr.posw(fmt.Sprintf("record spec %q", sr.hdr.Spec), err)
-		}
-		sr.codecs[sr.hdr.Spec] = c
+	c, err := sr.lookupCodec(sr.hdr.Spec)
+	if err != nil {
+		return nil, sr.posw(fmt.Sprintf("record spec %q", sr.hdr.Spec), err)
 	}
 	impl := c.(*codecImpl)
 	var out *tensor.Tensor
@@ -546,9 +643,13 @@ func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error
 	} else {
 		// Staged records (the chain must invert over the whole payload)
 		// and backends without streaming support buffer the one record.
-		buf := make([]byte, sr.cur.len())
-		if err = sr.cur.readFull(buf); err == nil {
-			out, err = impl.decodePayload(ctx, buf, sr.hdr.Shape)
+		// The buffer grows as chunk data actually arrives rather than
+		// being pre-allocated at the claimed payload length: a forged
+		// (CRC-valid) header claiming maxPayload would otherwise force a
+		// 1 GiB allocation before the first truncated chunk could fail.
+		var buf bytes.Buffer
+		if _, err = io.Copy(&buf, sr.cur); err == nil {
+			out, err = impl.decodePayload(ctx, buf.Bytes(), sr.hdr.Shape)
 		}
 	}
 	if err != nil {

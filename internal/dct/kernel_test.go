@@ -23,7 +23,7 @@ func testPlane(n int, seed float32) *tensor.Tensor {
 	x := tensor.New(n, n)
 	d := x.Data()
 	for i := range d {
-		d[i] = seed + float32((i*2654435761)%1000)/1000 - 0.5
+		d[i] = seed + float32((int64(i)*2654435761)%1000)/1000 - 0.5
 	}
 	return x
 }

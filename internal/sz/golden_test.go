@@ -19,7 +19,7 @@ func goldenTensor(shape ...int) *tensor.Tensor {
 	x := tensor.New(shape...)
 	d := x.Data()
 	for i := range d {
-		d[i] = float32((i*2654435761)%1000) / 999
+		d[i] = float32((int64(i)*2654435761)%1000) / 999
 		if i%11 == 0 {
 			d[i] = d[i] * 1e6 // unpredictable values
 		}

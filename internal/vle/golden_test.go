@@ -28,7 +28,7 @@ func goldenBlocks() map[string][][]int {
 			}
 			return 0
 		}),
-		"dense":   mk(3, 64, func(b, i int) int { return (b*i*2654435761)%401 - 200 }),
+		"dense":   mk(3, 64, func(b, i int) int { return int((int64(b)*int64(i)*2654435761)%401) - 200 }),
 		"allzero": mk(4, 64, func(b, i int) int { return 0 }),
 		"runs": mk(2, 200, func(b, i int) int {
 			if i%47 == 0 {

@@ -73,7 +73,7 @@ func goldenTensor(shape ...int) *tensor.Tensor {
 	x := tensor.New(shape...)
 	d := x.Data()
 	for i := range d {
-		d[i] = float32((i*2654435761)%1000) / 999
+		d[i] = float32((int64(i)*2654435761)%1000) / 999
 	}
 	for i := range d {
 		if i%3 == 0 {
