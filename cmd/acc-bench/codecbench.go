@@ -146,13 +146,17 @@ func measureStreamCase(spec string, workers, records int, shape []int) (streamBe
 func runCodecBench(out *hostBenchFile, full bool, gomaxprocs int) error {
 	// Each base spec is paired with its "+fse" staged variant so the
 	// JSON artifact records what the shared entropy stage buys (or
-	// costs) per family at the same measurement point.
+	// costs) per family at the same measurement point. The "+huf"
+	// rows measure the 4-stream Huffman backend against FSE on the
+	// same inputs — lossless:bg=4 is the headline pair: its wide
+	// mantissa-lane alphabets are exactly where huf's multi-symbol
+	// table decode should pull ahead.
 	for _, spec := range []string{
 		"zfp:rate=8", "zfp:rate=8+fse",
 		"jpegq:q=50", "jpegq:q=50+fse",
 		"sz:eb=1e-3", "sz:eb=1e-3+fse",
-		"dctc:cf=4", "dctc:cf=4+fse",
-		"lossless:bg=4", "lossless:bg=4+fse",
+		"dctc:cf=4", "dctc:cf=4+fse", "dctc:cf=4+huf",
+		"lossless:bg=4", "lossless:bg=4+fse", "lossless:bg=4+huf",
 	} {
 		e, err := measureCodecCase(spec)
 		if err != nil {

@@ -14,13 +14,14 @@ import (
 // different bench matrices; only the intersection is compared.
 
 type compareRow struct {
-	kind   string
-	key    string
-	oldNs  float64
-	newNs  float64
-	oldAll int64
-	newAll int64
-	hasAll bool
+	kind     string
+	key      string
+	oldNs    float64
+	newNs    float64
+	oldAll   int64
+	newAll   int64
+	hasAll   bool
+	newIters int
 }
 
 func loadBenchFile(path string) (*hostBenchFile, error) {
@@ -52,6 +53,7 @@ func compareRows(oldF, newF *hostBenchFile) []compareRow {
 			kind: "bench", key: e.Name,
 			oldNs: o.NsPerOp, newNs: e.NsPerOp,
 			oldAll: o.AllocsPerOp, newAll: e.AllocsPerOp, hasAll: true,
+			newIters: e.Iterations,
 		})
 	}
 
@@ -68,6 +70,7 @@ func compareRows(oldF, newF *hostBenchFile) []compareRow {
 			kind: "codec", key: "roundtrip/" + e.Spec,
 			oldNs: o.NsPerOp, newNs: e.NsPerOp,
 			oldAll: o.AllocsPerOp, newAll: e.AllocsPerOp, hasAll: true,
+			newIters: e.Iterations,
 		})
 	}
 
@@ -114,27 +117,58 @@ func compareRows(oldF, newF *hostBenchFile) []compareRow {
 	return rows
 }
 
-// runCompare prints the table and returns the number of regressions
-// beyond tol (e.g. 0.10 flags anything >10% slower than old).
-func runCompare(oldPath, newPath string, tol float64) (int, error) {
+// minAllocIters is the smallest iteration count at which allocs/op is
+// gateable: below it the one-time pool and table warmup allocations
+// are split over so few ops that they dominate the per-op count (a
+// 20ms smoke run of a 19ms/op codec does its whole warmup inside
+// b.N=1). Such rows print a note instead of failing the compare.
+const minAllocIters = 8
+
+// allocRegressed reports whether an allocs/op change is a structural
+// regression rather than measurement jitter. The pooled codec paths
+// amortize their pool-warmup allocations over b.N iterations, so the
+// reported allocs/op wobbles by a few between runs even at full
+// benchtime (GC clears pool victim caches mid-run); a genuine reuse
+// break — an allocation per block, lane, or plane — jumps by tens.
+// The gate therefore allows max(4, 10%) of slack, requires the new
+// measurement to have at least minAllocIters iterations, and
+// hard-fails anything beyond that.
+func allocRegressed(oldAll, newAll int64, newIters int) bool {
+	if newIters > 0 && newIters < minAllocIters {
+		return false
+	}
+	slack := oldAll / 10
+	if slack < 4 {
+		slack = 4
+	}
+	return newAll > oldAll+slack
+}
+
+// runCompare prints the table and returns the number of timing
+// regressions beyond tol (e.g. 0.10 flags anything >10% slower than
+// old) and, separately, the number of allocs/op regressions. Timing is
+// noise-prone and gated by the caller's -fail-on-regress; an allocs/op
+// increase beyond warmup jitter (allocRegressed) is a pool or
+// buffer-reuse break, so callers treat any count here as a hard
+// failure.
+func runCompare(oldPath, newPath string, tol float64) (timeRegressions, allocRegressions int, err error) {
 	oldF, err := loadBenchFile(oldPath)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	newF, err := loadBenchFile(newPath)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	rows := compareRows(oldF, newF)
 	if len(rows) == 0 {
-		return 0, fmt.Errorf("compare: no common entries between %s (%q) and %s (%q)",
+		return 0, 0, fmt.Errorf("compare: no common entries between %s (%q) and %s (%q)",
 			oldPath, oldF.Name, newPath, newF.Name)
 	}
 
 	fmt.Printf("comparing %s (%q) -> %s (%q), regression threshold %.0f%%\n",
 		oldPath, oldF.Name, newPath, newF.Name, tol*100)
 	fmt.Printf("%-52s %14s %14s %9s  %s\n", "config", "old ns/op", "new ns/op", "speedup", "")
-	regressions := 0
 	for _, r := range rows {
 		if r.oldNs <= 0 || r.newNs <= 0 {
 			continue
@@ -143,20 +177,32 @@ func runCompare(oldPath, newPath string, tol float64) (int, error) {
 		flag := ""
 		if r.newNs > r.oldNs*(1+tol) {
 			flag = "REGRESSION"
-			regressions++
+			timeRegressions++
 		}
-		if r.hasAll && r.newAll > r.oldAll {
+		if r.hasAll && allocRegressed(r.oldAll, r.newAll, r.newIters) {
+			if flag != "" {
+				flag += ", "
+			}
+			flag += fmt.Sprintf("ALLOC REGRESSION %d -> %d", r.oldAll, r.newAll)
+			allocRegressions++
+		} else if r.hasAll && r.newAll > r.oldAll {
 			if flag != "" {
 				flag += ", "
 			}
 			flag += fmt.Sprintf("allocs %d -> %d", r.oldAll, r.newAll)
+			if r.newIters > 0 && r.newIters < minAllocIters {
+				flag += fmt.Sprintf(" (N=%d, warmup-dominated; not gated)", r.newIters)
+			}
 		}
 		fmt.Printf("%-52s %14.0f %14.0f %8.2fx  %s\n", r.kind+"/"+r.key, r.oldNs, r.newNs, speedup, flag)
 	}
-	if regressions > 0 {
-		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, tol*100)
+	if timeRegressions > 0 {
+		fmt.Printf("%d timing regression(s) beyond %.0f%%\n", timeRegressions, tol*100)
 	} else {
-		fmt.Println("no regressions beyond threshold")
+		fmt.Println("no timing regressions beyond threshold")
 	}
-	return regressions, nil
+	if allocRegressions > 0 {
+		fmt.Printf("%d allocs/op regression(s)\n", allocRegressions)
+	}
+	return timeRegressions, allocRegressions, nil
 }

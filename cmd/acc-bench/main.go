@@ -62,7 +62,7 @@ func main() {
 
 		compare       = flag.Bool("compare", false, "diff two BENCH_*.json files: acc-bench -compare old.json new.json")
 		regressTol    = flag.Float64("regress-tol", 0.10, "fractional slowdown flagged as a regression in -compare")
-		failOnRegress = flag.Bool("fail-on-regress", false, "exit nonzero if -compare finds regressions beyond -regress-tol")
+		failOnRegress = flag.Bool("fail-on-regress", false, "exit nonzero if -compare finds timing regressions beyond -regress-tol (allocs/op regressions always fail)")
 
 		hostbench  = flag.Bool("hostbench", false, "measure host fast-vs-dense kernels, write BENCH_<name>.json")
 		benchName  = flag.String("benchname", "host", "hostbench output label (BENCH_<name>.json)")
@@ -88,12 +88,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: acc-bench -compare old.json new.json")
 			os.Exit(2)
 		}
-		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *regressTol)
+		timeRegs, allocRegs, err := runCompare(flag.Arg(0), flag.Arg(1), *regressTol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if regressions > 0 && *failOnRegress {
+		// Allocs/op increases are deterministic pool/reuse breaks, not
+		// measurement noise, so they fail the compare unconditionally;
+		// timing regressions only fail under -fail-on-regress.
+		if allocRegs > 0 {
+			fmt.Fprintf(os.Stderr, "acc-bench: %d allocs/op regression(s) — failing regardless of -fail-on-regress\n", allocRegs)
+			os.Exit(1)
+		}
+		if timeRegs > 0 && *failOnRegress {
 			os.Exit(1)
 		}
 		return

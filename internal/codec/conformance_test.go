@@ -32,6 +32,13 @@ var conformanceSpecs = []struct {
 	{"zfp:rate=8+fse", 30, 0},
 	{"sz:eb=1e-3+fse", 40, 1e-3},
 	{"jpegq:q=50+fse", 20, 0},
+	{"dctc:cf=4+huf", 20, 0},
+	{"zfp:rate=8+huf", 30, 0},
+	{"sz:eb=1e-3+huf", 40, 1e-3},
+	{"jpegq:q=50+huf", 20, 0},
+	// Bit-exact family: any finite floor holds; 140 dB is far above
+	// every lossy codec and PSNR may legitimately return +Inf here.
+	{"lossless:bg=4+huf", 140, 0},
 }
 
 // conformanceBatch builds the deterministic smooth [2,3,16,16] batch
@@ -138,6 +145,81 @@ func TestConformanceRoundTrip(t *testing.T) {
 			}
 			if !rt.AllClose(back, 1e-5) {
 				t.Errorf("RoundTrip fast path diverges from container path (max diff %g)", rt.MaxAbsDiff(back))
+			}
+		})
+	}
+}
+
+// TestStageBackendEquivalence pairs "+fse" against "+huf" across all
+// five families: both stages are lossless payload transforms, so the
+// decoded tensors must be bit-identical — equal to each other and (for
+// the lossless family) to the original, arbitrary NaN payloads
+// included.
+func TestStageBackendEquivalence(t *testing.T) {
+	smooth := conformanceBatch()
+
+	// A hostile bit-pattern tensor for the lossless family: quiet and
+	// signaling NaN payloads, ±Inf, ±0, denormals, and trained-weight-
+	// like values.
+	hostile := tensor.New(2, 3, 16, 16)
+	hd := hostile.Data()
+	patterns := []uint32{
+		0x7FC00001, 0xFFC0BEEF, 0x7F800001, 0x7F800000, 0xFF800000,
+		0x80000000, 0x00000000, 0x00000001, 0x807FFFFF, 0x3F800000,
+	}
+	for i := range hd {
+		if i%3 == 0 {
+			hd[i] = math.Float32frombits(patterns[i%len(patterns)] ^ uint32(i)<<13)
+		} else {
+			hd[i] = float32(math.Sin(float64(i)/17)) * 1e-3
+		}
+	}
+
+	cases := []struct {
+		base string
+		x    *tensor.Tensor
+		// exact: decoded bits must equal the input bits (lossless family).
+		exact bool
+	}{
+		{"dctc:cf=4", smooth, false},
+		{"zfp:rate=8", smooth, false},
+		{"sz:eb=1e-3", smooth, false},
+		{"jpegq:q=50", smooth, false},
+		{"lossless:bg=1", hostile, true},
+		{"lossless:bg=2", hostile, true},
+		{"lossless:bg=4", hostile, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.base, func(t *testing.T) {
+			decode := func(stage string) *tensor.Tensor {
+				c, err := New(tc.base + stage)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := c.Compress(tc.x)
+				if err != nil {
+					t.Fatalf("%s%s compress: %v", tc.base, stage, err)
+				}
+				back, _, err := DecodeBytes(data)
+				if err != nil {
+					t.Fatalf("%s%s decode: %v", tc.base, stage, err)
+				}
+				return back
+			}
+			viaFSE, viaHUF := decode("+fse"), decode("+huf")
+			fb, hb := viaFSE.Data(), viaHUF.Data()
+			for i := range fb {
+				if math.Float32bits(fb[i]) != math.Float32bits(hb[i]) {
+					t.Fatalf("element %d: +fse decodes %08x, +huf decodes %08x", i, math.Float32bits(fb[i]), math.Float32bits(hb[i]))
+				}
+			}
+			if tc.exact {
+				xd := tc.x.Data()
+				for i := range xd {
+					if math.Float32bits(xd[i]) != math.Float32bits(hb[i]) {
+						t.Fatalf("element %d: input bits %08x came back %08x", i, math.Float32bits(xd[i]), math.Float32bits(hb[i]))
+					}
+				}
 			}
 		})
 	}

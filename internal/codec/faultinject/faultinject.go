@@ -126,6 +126,17 @@ func (c *cursor) u8(what string) (int, error) {
 	return int(v), nil
 }
 
+// uvarint reads an unsigned varint, returning its value and encoded
+// width in bytes.
+func (c *cursor) uvarint(what string) (int, int, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("faultinject: bad uvarint for %s at offset %d", what, c.off)
+	}
+	c.off += n
+	return int(v), n, nil
+}
+
 // region emits a region covering the n bytes before the cursor.
 func region(name string, end, n int) Region {
 	return Region{Name: name, Off: end - n, Len: n}
@@ -162,6 +173,111 @@ func planeRegions(c *cursor, prefix string) ([]Region, error) {
 	return regs, nil
 }
 
+// entropyBlockRegions scans the block sequence of an entropy-coded
+// (staged) payload up to offset end, emitting one region per block
+// header and per mode-specific body field. The layout is re-derived
+// from internal/entropy's wire doc, independent of its parser: each
+// block is u8 mode + uvarint rawLen, then
+//
+//	mode 0 raw  — rawLen literal bytes
+//	mode 1 rle  — one symbol byte
+//	mode 2 fse  — uvarint bodyLen; body = tableLog u8, nsym-1 u8,
+//	              3·nsym table entries, bitstream
+//	mode 3 huf  — uvarint bodyLen; body = 128-byte code-length table,
+//	              6-byte jump table (3×u16le), 4 bitstreams
+func entropyBlockRegions(c *cursor, prefix string, end int) ([]Region, error) {
+	var regs []Region
+	for blk := 0; c.off < end; blk++ {
+		p := func(field string) string { return fmt.Sprintf("%sblk%d.%s", prefix, blk, field) }
+		hdrStart := c.off
+		mode, err := c.u8("entropy block mode")
+		if err != nil {
+			return nil, err
+		}
+		rawLen, _, err := c.uvarint("entropy block raw length")
+		if err != nil {
+			return nil, err
+		}
+		regs = append(regs, region(p("hdr"), c.off, c.off-hdrStart))
+		switch mode {
+		case 0: // raw: the body is the rawLen literal bytes
+			if err := c.need(rawLen, "raw block body"); err != nil {
+				return nil, err
+			}
+			c.off += rawLen
+			if rawLen > 0 {
+				regs = append(regs, region(p("raw"), c.off, rawLen))
+			}
+		case 1: // rle: one symbol byte
+			if _, err := c.u8("rle symbol"); err != nil {
+				return nil, err
+			}
+			regs = append(regs, region(p("sym"), c.off, 1))
+		case 2: // fse
+			bodyLen, n, err := c.uvarint("fse body length")
+			if err != nil {
+				return nil, err
+			}
+			regs = append(regs, region(p("bodylen"), c.off, n))
+			bodyStart := c.off
+			if err := c.need(bodyLen, "fse body"); err != nil {
+				return nil, err
+			}
+			if bodyLen < 2 {
+				return nil, fmt.Errorf("faultinject: fse body of %d bytes at offset %d", bodyLen, bodyStart)
+			}
+			tableLen := 2 + 3*(int(c.data[bodyStart+1])+1)
+			if tableLen > bodyLen {
+				return nil, fmt.Errorf("faultinject: fse table of %d bytes overruns %d-byte body at offset %d", tableLen, bodyLen, bodyStart)
+			}
+			regs = append(regs, Region{Name: p("fse-table"), Off: bodyStart, Len: tableLen})
+			if bodyLen > tableLen {
+				regs = append(regs, Region{Name: p("fse-stream"), Off: bodyStart + tableLen, Len: bodyLen - tableLen})
+			}
+			c.off = bodyStart + bodyLen
+		case 3: // huf
+			bodyLen, n, err := c.uvarint("huf body length")
+			if err != nil {
+				return nil, err
+			}
+			regs = append(regs, region(p("bodylen"), c.off, n))
+			bodyStart := c.off
+			if err := c.need(bodyLen, "huf body"); err != nil {
+				return nil, err
+			}
+			if bodyLen < 128+6 {
+				return nil, fmt.Errorf("faultinject: huf body of %d bytes at offset %d, need at least %d", bodyLen, bodyStart, 128+6)
+			}
+			regs = append(regs,
+				Region{Name: p("huf-lens"), Off: bodyStart, Len: 128},
+				Region{Name: p("huf-jump"), Off: bodyStart + 128, Len: 6})
+			streamsLen := bodyLen - 128 - 6
+			j := [4]int{}
+			for i := 0; i < 3; i++ {
+				j[i] = int(binary.LittleEndian.Uint16(c.data[bodyStart+128+2*i:]))
+			}
+			j[3] = streamsLen - j[0] - j[1] - j[2]
+			if j[3] < 0 {
+				return nil, fmt.Errorf("faultinject: huf jump table claims %d stream bytes, body holds %d", j[0]+j[1]+j[2], streamsLen)
+			}
+			so := bodyStart + 128 + 6
+			for i, sl := range j {
+				if sl > 0 {
+					regs = append(regs, Region{Name: p(fmt.Sprintf("huf-s%d", i)), Off: so, Len: sl})
+				}
+				so += sl
+			}
+			c.off = bodyStart + bodyLen
+		default:
+			return nil, fmt.Errorf("faultinject: unknown entropy block mode %d at offset %d", mode, hdrStart)
+		}
+		if c.off > end {
+			return nil, fmt.Errorf("faultinject: entropy block %d overruns the payload by %d bytes", blk, c.off-end)
+		}
+	}
+	return regs, nil
+}
+
 // specStaged reports whether a spec string carries a stage chain
 // ("base+stage..."). Re-derived independently of internal/codec: a '+'
 // separates stages only when followed by an ASCII letter, so float
@@ -178,18 +294,28 @@ func specStaged(spec string) bool {
 
 // payloadRegions scans a codec payload (the family-specific prefix plus
 // the shared plane framing) given the spec string's family. Staged
-// payloads are opaque entropy-coded bytes with no scannable structure,
-// so they map to a single region.
+// payloads keep one umbrella region covering the whole entropy-coded
+// byte range, with finer per-block regions (headers, fse tables, huf
+// code-length and jump tables, bitstreams) scanned underneath it.
 func payloadRegions(c *cursor, prefix, spec string, payLen int) ([]Region, error) {
 	if specStaged(spec) {
+		payStart := c.off
 		if err := c.need(payLen, prefix+" staged payload"); err != nil {
 			return nil, err
 		}
-		c.off += payLen
 		if payLen == 0 {
+			c.off += payLen
 			return nil, nil
 		}
-		return []Region{region(prefix+"staged", c.off, payLen)}, nil
+		regs := []Region{{Name: prefix + "staged", Off: payStart, Len: payLen}}
+		bregs, err := entropyBlockRegions(c, prefix, payStart+payLen)
+		if err != nil {
+			return nil, err
+		}
+		if c.off != payStart+payLen {
+			return nil, fmt.Errorf("faultinject: entropy block scan consumed %d bytes, payload holds %d", c.off-payStart, payLen)
+		}
+		return append(regs, bregs...), nil
 	}
 	family, _, _ := strings.Cut(spec, ":")
 	var regs []Region
@@ -238,9 +364,9 @@ func payloadRegions(c *cursor, prefix, spec string, payLen int) ([]Region, error
 }
 
 // V1Regions parses an ACCF v1 or v3 container (including the payload's
-// codec-level framing; v3 staged payloads are one opaque region) and
-// returns every structural region, leaving a trailing zero-length
-// "eof" boundary for insertion faults.
+// codec-level framing; v3 staged payloads scan down to entropy block
+// granularity) and returns every structural region, leaving a trailing
+// zero-length "eof" boundary for insertion faults.
 func V1Regions(data []byte) ([]Region, error) {
 	c := &cursor{data: data}
 	magic, err := c.u32("magic")

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -25,6 +26,27 @@ func mk(shape ...int) *tensor.Tensor {
 	return x
 }
 
+// mkWide builds a tensor whose little-endian float32 bytes follow a
+// wide triangular distribution (each byte the average of three lagged
+// pseudo-random bytes), the shape of mantissa-lane data that makes the
+// entropy encoder pick huf blocks over fse. Arbitrary bit patterns
+// (NaNs included) are fine: only the bit-exact lossless family sees it.
+func mkWide(shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	d := x.Data()
+	s := uint64(0x9e3779b97f4a7c15)
+	nb := func() uint32 {
+		s = s*6364136223846793005 + 1442695040888963407
+		a, b, c := s>>16&0xFF, s>>32&0xFF, s>>48&0xFF
+		return uint32((a + b + c) / 3)
+	}
+	for i := range d {
+		bits := nb() | nb()<<8 | nb()<<16 | nb()<<24
+		d[i] = math.Float32frombits(bits)
+	}
+	return x
+}
+
 // v1Cases cover every codec family and both payload framings (planar
 // and flat/packed), so the region scan exercises every mode byte and
 // plane-table variant the decoder can meet.
@@ -32,28 +54,35 @@ var v1Cases = []struct {
 	name  string
 	spec  string
 	shape []int
+	wide  bool // build the tensor with mkWide instead of mk
 }{
-	{"dctc-planar", "dctc:cf=4", []int{1, 2, 16, 16}},
-	{"dctc-flat", "dctc:cf=4", []int{100}},
-	{"zfp-planar", "zfp:rate=8", []int{3, 8, 8}},
-	{"zfp-flat", "zfp:rate=8", []int{100}},
-	{"sz-planar", "sz:eb=1e-3", []int{3, 5, 7}},
-	{"sz-flat", "sz:eb=1e-3", []int{64}},
-	{"jpegq", "jpegq:q=50", []int{1, 2, 8, 8}},
-	{"lossless", "lossless:bg=4", []int{3, 5, 7}},
-	// Staged variants serialize as version-3 containers whose payload is
-	// one opaque entropy-coded region.
-	{"dctc-staged", "dctc:cf=4+fse", []int{1, 2, 16, 16}},
-	{"sz-staged", "sz:eb=1e-3+fse", []int{64}},
-	{"lossless-staged", "lossless:bg=4+fse", []int{3, 5, 7}},
+	{"dctc-planar", "dctc:cf=4", []int{1, 2, 16, 16}, false},
+	{"dctc-flat", "dctc:cf=4", []int{100}, false},
+	{"zfp-planar", "zfp:rate=8", []int{3, 8, 8}, false},
+	{"zfp-flat", "zfp:rate=8", []int{100}, false},
+	{"sz-planar", "sz:eb=1e-3", []int{3, 5, 7}, false},
+	{"sz-flat", "sz:eb=1e-3", []int{64}, false},
+	{"jpegq", "jpegq:q=50", []int{1, 2, 8, 8}, false},
+	{"lossless", "lossless:bg=4", []int{3, 5, 7}, false},
+	// Staged variants serialize as version-3 containers whose payload
+	// scans down to entropy block granularity.
+	{"dctc-staged", "dctc:cf=4+fse", []int{1, 2, 16, 16}, false},
+	{"sz-staged", "sz:eb=1e-3+fse", []int{64}, false},
+	{"lossless-staged", "lossless:bg=4+fse", []int{3, 5, 7}, false},
+	{"dctc-staged-huf", "dctc:cf=4+huf", []int{1, 2, 16, 16}, false},
+	// Wide triangular bytes per lane: every lane selects huf blocks, so
+	// the scan covers code-length tables, jump tables, and all four
+	// interleaved bitstreams.
+	{"lossless-staged-huf", "lossless:bg=4+huf", []int{4096}, true},
 }
 
 // payloadRegionNames returns the payload-level region names the scan
-// must produce for a spec: staged payloads and lossless lanes are
-// opaque single regions, everything else is plane-framed.
+// must produce for a spec: staged payloads carry an umbrella region
+// plus per-block framing, lossless lanes are one opaque region,
+// everything else is plane-framed.
 func payloadRegionNames(spec string) []string {
-	if strings.Contains(spec, "+fse") {
-		return []string{"payload.staged"}
+	if strings.Contains(spec, "+fse") || strings.Contains(spec, "+huf") {
+		return []string{"payload.staged", "payload.blk0.hdr"}
 	}
 	if strings.HasPrefix(spec, "lossless") {
 		return []string{"payload.lanes"}
@@ -88,7 +117,11 @@ func TestV1FaultInjection(t *testing.T) {
 			if err != nil {
 				t.Fatalf("New(%q): %v", tc.spec, err)
 			}
-			data, err := c.Compress(mk(tc.shape...))
+			x := mk(tc.shape...)
+			if tc.wide {
+				x = mkWide(tc.shape...)
+			}
+			data, err := c.Compress(x)
 			if err != nil {
 				t.Fatalf("Compress: %v", err)
 			}
@@ -100,6 +133,12 @@ func TestV1FaultInjection(t *testing.T) {
 				t.Fatalf("V1Regions: %v", err)
 			}
 			want := append([]string{"magic", "version", "speclen", "spec", "rank", "dims", "paylen", "paycrc", "eof"}, payloadRegionNames(tc.spec)...)
+			if tc.wide {
+				// The wide-byte lanes must actually produce huf blocks, or
+				// this case silently stops covering the new wire structures.
+				want = append(want, "payload.blk0.huf-lens", "payload.blk0.huf-jump",
+					"payload.blk0.huf-s0", "payload.blk0.huf-s3")
+			}
 			requireRegions(t, regions, want...)
 			mutants := 0
 			for _, r := range regions {
@@ -157,18 +196,24 @@ func buildStream(t *testing.T, parallel, indexed bool) []byte {
 	for _, rec := range []struct {
 		spec  string
 		shape []int
+		wide  bool
 	}{
-		{"dctc:cf=4", []int{1, 2, 16, 16}},
-		{"zfp:rate=8", []int{100}},
-		{"sz:eb=1e-3", []int{3, 5, 7}},
-		{"dctc:cf=4+fse", []int{1, 2, 16, 16}},
-		{"lossless:bg=4+fse", []int{3, 5, 7}},
+		{"dctc:cf=4", []int{1, 2, 16, 16}, false},
+		{"zfp:rate=8", []int{100}, false},
+		{"sz:eb=1e-3", []int{3, 5, 7}, false},
+		{"dctc:cf=4+fse", []int{1, 2, 16, 16}, false},
+		{"lossless:bg=4+fse", []int{3, 5, 7}, false},
+		{"lossless:bg=4+huf", []int{4096}, true},
 	} {
 		c, err := codec.New(rec.spec)
 		if err != nil {
 			t.Fatalf("New(%q): %v", rec.spec, err)
 		}
-		if err := sw.WriteTensor(context.Background(), c, mk(rec.shape...)); err != nil {
+		x := mk(rec.shape...)
+		if rec.wide {
+			x = mkWide(rec.shape...)
+		}
+		if err := sw.WriteTensor(context.Background(), c, x); err != nil {
 			t.Fatalf("WriteTensor(%q): %v", rec.spec, err)
 		}
 	}
@@ -224,7 +269,7 @@ func TestV2FaultInjection(t *testing.T) {
 		"header.magic", "header.version", "header.reserved",
 		"rec0.marker", "rec0.speclen", "rec0.spec", "rec0.rank", "rec0.dims", "rec0.paylen", "rec0.crc",
 		"rec0.chunk0.len", "rec0.chunk0.crc", "rec0.chunk0.data",
-		"rec1.marker", "rec2.marker", "rec3.marker", "rec4.marker",
+		"rec1.marker", "rec2.marker", "rec3.marker", "rec4.marker", "rec5.marker",
 		"end.marker", "eof")
 	mutants := 0
 	for _, r := range regions {
@@ -293,8 +338,8 @@ func TestV2ParallelWriterFraming(t *testing.T) {
 		}
 		records++
 	}
-	if records != 5 {
-		t.Fatalf("read-ahead reader decoded %d records, want 5", records)
+	if records != 6 {
+		t.Fatalf("read-ahead reader decoded %d records, want 6", records)
 	}
 }
 
@@ -321,13 +366,14 @@ func decodeAll(t *testing.T, data []byte) []*tensor.Tensor {
 	}
 }
 
-// sameTensor reports bit-exact equality.
+// sameTensor reports bit-exact equality (NaN payloads included, which
+// float comparison would miss).
 func sameTensor(a, b *tensor.Tensor) bool {
 	if a.Len() != b.Len() {
 		return false
 	}
 	for i, v := range a.Data() {
-		if v != b.Data()[i] {
+		if math.Float32bits(v) != math.Float32bits(b.Data()[i]) {
 			return false
 		}
 	}
@@ -354,7 +400,7 @@ func TestV2IndexFaultInjection(t *testing.T) {
 	}
 	requireRegions(t, regions,
 		"footer.marker", "footer.len", "footer.count",
-		"footer.entry0", "footer.entry1", "footer.entry2", "footer.entry3", "footer.entry4",
+		"footer.entry0", "footer.entry1", "footer.entry2", "footer.entry3", "footer.entry4", "footer.entry5",
 		"footer.crc", "footer.size", "footer.magic",
 		"end.marker", "eof")
 	mutants := 0

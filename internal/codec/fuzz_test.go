@@ -6,12 +6,31 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"io"
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/codec/faultinject"
 	"repro/internal/tensor"
 )
+
+// wideTensor builds a tensor whose little-endian float32 bytes follow
+// a wide triangular distribution, the mantissa-lane shape that makes
+// the entropy encoder select huf blocks — fuzz seeds built from it
+// reach the huf table and stream parsers instead of the fse ones.
+func wideTensor(n int) *tensor.Tensor {
+	x := tensor.New(n)
+	d := x.Data()
+	s := uint64(0x9e3779b97f4a7c15)
+	nb := func() uint32 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return uint32((s>>16&0xFF + s>>32&0xFF + s>>48&0xFF) / 3)
+	}
+	for i := range d {
+		d[i] = math.Float32frombits(nb() | nb()<<8 | nb()<<16 | nb()<<24)
+	}
+	return x
+}
 
 // FuzzContainerDecode hardens the self-describing decode path — header
 // parsing, spec resolution, plane framing, and every family's payload
@@ -56,7 +75,7 @@ func FuzzContainerDecode(f *testing.F) {
 	// are corrupted *below* a valid container frame (CRC recomputed via
 	// WriteContainer), so the fuzzer starts inside the entropy parser
 	// instead of bouncing off the container CRC.
-	for _, spec := range []string{"dctc:cf=4+fse", "zfp:rate=8+fse", "sz:eb=1e-2+fse", "jpegq:q=50+fse", "lossless:bg=4+fse", "lossless:bg=1"} {
+	for _, spec := range []string{"dctc:cf=4+fse", "zfp:rate=8+fse", "sz:eb=1e-2+fse", "jpegq:q=50+fse", "lossless:bg=4+fse", "lossless:bg=1", "dctc:cf=4+huf", "jpegq:q=50+huf"} {
 		c, err := New(spec)
 		if err != nil {
 			f.Fatal(err)
@@ -94,6 +113,59 @@ func FuzzContainerDecode(f *testing.F) {
 				}
 				f.Add(buf.Bytes())
 			}
+		}
+	}
+
+	// Huf-block seeds: wide triangular bytes make every lossless lane
+	// select huf blocks; one byte is corrupted inside each huf structure
+	// the region scan names (code-length table, jump table, each of the
+	// four bitstreams) with the container CRC recomputed, so the fuzzer
+	// starts inside the huf parser rather than bouncing off the CRC.
+	wide := wideTensor(2048)
+	for _, spec := range []string{"lossless:bg=4+huf", "lossless:bg=2+huf"} {
+		c, err := New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := c.Compress(wide)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-1])
+		regs, err := faultinject.V1Regions(data)
+		if err != nil {
+			f.Fatal(err)
+		}
+		hdr, payload, err := ReadContainer(bytes.NewReader(data))
+		if err != nil {
+			f.Fatal(err)
+		}
+		payOff := -1
+		for _, r := range regs {
+			if r.Name == "payload.staged" {
+				payOff = r.Off
+			}
+		}
+		if payOff < 0 {
+			f.Fatal("no staged payload region in huf container")
+		}
+		hufSeeds := 0
+		for _, r := range regs {
+			if !strings.Contains(r.Name, "huf-") {
+				continue
+			}
+			hufSeeds++
+			mut := append([]byte(nil), payload...)
+			mut[r.Off-payOff] ^= 0xFF
+			var buf bytes.Buffer
+			if _, err := WriteContainer(&buf, hdr.Spec, hdr.Shape, mut); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+		}
+		if hufSeeds == 0 {
+			f.Fatalf("%s: wide tensor produced no huf blocks", spec)
 		}
 	}
 
@@ -259,12 +331,19 @@ func FuzzStreamDecode(f *testing.F) {
 	var stb bytes.Buffer
 	stw := NewStreamWriter(&stb)
 	stw.SetChunkSize(4 << 10)
-	for _, spec := range []string{"dctc:cf=4+fse", "sz:eb=1e-2", "lossless:bg=4+fse"} {
+	for _, spec := range []string{"dctc:cf=4+fse", "sz:eb=1e-2", "lossless:bg=4+fse", "dctc:cf=4+huf", "lossless:bg=4+huf"} {
 		c, err := New(spec)
 		if err != nil {
 			f.Fatal(err)
 		}
-		if err := stw.WriteTensor(context.Background(), c, x); err != nil {
+		in := x
+		if spec == "lossless:bg=4+huf" {
+			// Wide triangular bytes: the record's chunks carry huf-mode
+			// blocks, so the chunk0.data corruption below reaches the huf
+			// table parser too.
+			in = wideTensor(2048)
+		}
+		if err := stw.WriteTensor(context.Background(), c, in); err != nil {
 			f.Fatal(err)
 		}
 	}
@@ -281,10 +360,18 @@ func FuzzStreamDecode(f *testing.F) {
 			if !strings.HasSuffix(r.Name, "chunk0.data") {
 				continue
 			}
-			mut := append([]byte(nil), staged...)
-			mut[r.Off] ^= 0xFF // block header / FSE table byte
-			binary.LittleEndian.PutUint32(mut[r.Off-4:], crc32.ChecksumIEEE(mut[r.Off:r.Off+r.Len]))
-			f.Add(mut)
+			// Offset 0 lands on the block header / entropy table lead
+			// byte; offset 40 lands inside a huf block's code-length
+			// table (and mid-table for fse blocks).
+			for _, off := range []int{0, 40} {
+				if off >= r.Len {
+					continue
+				}
+				mut := append([]byte(nil), staged...)
+				mut[r.Off+off] ^= 0xFF
+				binary.LittleEndian.PutUint32(mut[r.Off-4:], crc32.ChecksumIEEE(mut[r.Off:r.Off+r.Len]))
+				f.Add(mut)
+			}
 		}
 	}
 

@@ -155,6 +155,101 @@ func TestRoundTripIntoAllocs(t *testing.T) {
 	}
 }
 
+// goldenHufCases is the fixed spec/shape matrix the huf golden fixture
+// records: every family through "+huf", including the per-lane
+// lossless framings whose block layout (one sequence per byte-group
+// lane) is part of the wire contract.
+var goldenHufCases = []struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}{
+	{"dctc:cf=4+huf", []int{2, 3, 16, 16}},
+	{"zfp:rate=8+huf", []int{1, 2, 16, 16}},
+	{"sz:eb=1e-3+huf", []int{3, 5, 7}},
+	{"jpegq:q=50+huf", []int{1, 2, 8, 8}},
+	{"lossless:bg=1+huf", []int{2, 3, 16, 16}},
+	{"lossless:bg=2+huf", []int{2, 3, 16, 16}},
+	{"lossless:bg=4+huf", []int{2, 3, 16, 16}},
+	// bg=1 keeps the whole payload one lane, so 17·1024 elements
+	// (68 KiB) pins a lane spanning multiple entropy blocks without a
+	// megabyte-scale fixture.
+	{"lossless:bg=1+huf", []int{17, 1024}},
+}
+
+// TestGoldenHufContainers pins "+huf" container output byte-for-byte:
+// the huf block format, the fse-vs-huf selection rule, and the
+// per-lane lossless block sequences are all wire contracts — an
+// innocent change to any of them breaks recorded streams in the field.
+// Regenerate with GOLDEN_UPDATE=1 only for a deliberate, documented
+// format change.
+func TestGoldenHufContainers(t *testing.T) {
+	const path = "testdata/golden_huf_containers.json"
+	type fixture struct {
+		Name  string `json:"name"`
+		Shape []int  `json:"shape"`
+		Hex   string `json:"hex"`
+	}
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		var out []fixture
+		for _, tc := range goldenHufCases {
+			c, err := New(tc.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := c.Compress(goldenContainerTensor(tc.Shape...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fixture{tc.Name, tc.Shape, hex.EncodeToString(data)})
+		}
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []fixture
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != len(goldenHufCases) {
+		t.Fatalf("fixture has %d cases, test expects %d", len(cases), len(goldenHufCases))
+	}
+	for i, tc := range cases {
+		t.Run(tc.Name, func(t *testing.T) {
+			c, err := New(tc.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := goldenContainerTensor(tc.Shape...)
+			data, err := c.Compress(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := hex.DecodeString(tc.Hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("case %d: container bytes diverge from recorded stream (len %d vs %d)", i, len(data), len(want))
+			}
+			back, decoded, err := DecodeBytes(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded.Spec() != c.Spec() || !back.SameShape(x) {
+				t.Fatalf("decoded spec %q shape %v", decoded.Spec(), back.Shape())
+			}
+		})
+	}
+}
+
 // goldenStreamRecords is the fixed record sequence of the recorded v2
 // stream: every family, both plane framings, all unstaged (so the
 // stream predates — and must survive — the v3 stage-chain refactor).

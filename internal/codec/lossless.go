@@ -2,6 +2,7 @@ package codec
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -42,6 +43,18 @@ func (b *losslessBackend) canonical() string {
 	return fmt.Sprintf("bg=%d", b.bg)
 }
 
+// payloadSegments marks the byte-group lane boundaries for segment-
+// aware entropy stages: lane k occupies [k·n/bg, (k+1)·n/bg), so each
+// lane's run of same-significance bytes gets its own block statistics
+// instead of blocks straddling an exponent/mantissa boundary.
+func (b *losslessBackend) payloadSegments(payloadLen int) []int {
+	bounds := make([]int, b.bg)
+	for i := range bounds {
+		bounds[i] = (i + 1) * payloadLen / b.bg
+	}
+	return bounds
+}
+
 func (b *losslessBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte, error) {
 	if x.Len() == 0 {
 		return nil, fmt.Errorf("lossless: empty tensor")
@@ -52,15 +65,32 @@ func (b *losslessBackend) encode(ctx context.Context, x *tensor.Tensor) ([]byte,
 	elems := x.Len()
 	data := x.Data()
 	out := make([]byte, 4*elems)
-	group := 4 / b.bg
-	for lane := 0; lane < b.bg; lane++ {
-		dst := out[lane*group*elems:]
-		shift := uint(8 * lane * group)
+	// One flat loop per bg: the lane slices are hoisted and every
+	// element is split with shifts only, so the transpose runs at
+	// memory speed instead of re-slicing per element.
+	switch b.bg {
+	case 4:
+		l0, l1 := out[:elems], out[elems:2*elems]
+		l2, l3 := out[2*elems:3*elems], out[3*elems:4*elems]
 		for i, v := range data {
-			bits := math.Float32bits(v) >> shift
-			for k := 0; k < group; k++ {
-				dst[i*group+k] = byte(bits >> uint(8*k))
-			}
+			bits := math.Float32bits(v)
+			l0[i] = byte(bits)
+			l1[i] = byte(bits >> 8)
+			l2[i] = byte(bits >> 16)
+			l3[i] = byte(bits >> 24)
+		}
+	case 2:
+		l0, l1 := out[:2*elems], out[2*elems:4*elems]
+		for i, v := range data {
+			bits := math.Float32bits(v)
+			l0[2*i] = byte(bits)
+			l0[2*i+1] = byte(bits >> 8)
+			l1[2*i] = byte(bits >> 16)
+			l1[2*i+1] = byte(bits >> 24)
+		}
+	default: // bg=1: the little-endian byte stream unchanged
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
 		}
 	}
 	return out, nil
@@ -79,19 +109,28 @@ func (b *losslessBackend) decode(ctx context.Context, payload []byte, shape []in
 	}
 	out := tensor.New(shape...)
 	data := out.Data()
-	group := 4 / b.bg
-	// Element-outer assembly: every value is reconstructed as a uint32
-	// and stored exactly once, so arbitrary bit patterns (NaN payloads
-	// included) survive bit-for-bit.
-	for i := range data {
-		var bits uint32
-		for lane := 0; lane < b.bg; lane++ {
-			src := payload[lane*group*elems:]
-			for k := 0; k < group; k++ {
-				bits |= uint32(src[i*group+k]) << uint(8*(lane*group+k))
-			}
+	// Element-outer assembly, one flat loop per bg: every value is
+	// reconstructed as a uint32 and stored exactly once, so arbitrary
+	// bit patterns (NaN payloads included) survive bit-for-bit.
+	switch b.bg {
+	case 4:
+		l0, l1 := payload[:elems], payload[elems:2*elems]
+		l2, l3 := payload[2*elems:3*elems], payload[3*elems:4*elems]
+		for i := range data {
+			bits := uint32(l0[i]) | uint32(l1[i])<<8 | uint32(l2[i])<<16 | uint32(l3[i])<<24
+			data[i] = math.Float32frombits(bits)
 		}
-		data[i] = math.Float32frombits(bits)
+	case 2:
+		l0, l1 := payload[:2*elems], payload[2*elems:4*elems]
+		for i := range data {
+			bits := uint32(l0[2*i]) | uint32(l0[2*i+1])<<8 |
+				uint32(l1[2*i])<<16 | uint32(l1[2*i+1])<<24
+			data[i] = math.Float32frombits(bits)
+		}
+	default: // bg=1
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
 	}
 	return out, nil
 }

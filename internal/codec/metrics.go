@@ -161,6 +161,7 @@ var streamM = struct {
 	iRebuilds     *telemetry.Counter   // indexes rebuilt by sequential header walk
 	iSeeks        *telemetry.Counter   // DecodeAt calls (incl. those fanned out by DecodeRange)
 	iRangeRecords *telemetry.Counter   // records decoded through DecodeRange
+	iFooterSkips  *telemetry.Counter   // sequential Skips served by a footer seek
 	iSeekNs       *telemetry.Histogram // per-record seek+decode latency
 }{
 	wAdmitted: telemetry.NewCounter("stream.writer.records_admitted"),
@@ -185,5 +186,6 @@ var streamM = struct {
 	iRebuilds:     telemetry.NewCounter("stream.index.rebuilds"),
 	iSeeks:        telemetry.NewCounter("stream.index.seeks"),
 	iRangeRecords: telemetry.NewCounter("stream.index.range_records"),
+	iFooterSkips:  telemetry.NewCounter("stream.index.footer_skips"),
 	iSeekNs:       telemetry.NewHistogram("stream.index.seek_ns"),
 }

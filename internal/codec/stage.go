@@ -165,7 +165,12 @@ func (c *codecImpl) encodePayload(ctx context.Context, x *tensor.Tensor) ([]byte
 	}
 	for i, st := range c.chain {
 		ts := telemetry.NowNanos()
-		if payload, err = st.Forward(ctx, payload); err != nil {
+		if seg, lanes := segmentsFor(c, st, i, len(payload)); lanes != nil {
+			payload, err = seg.ForwardSegments(ctx, payload, lanes)
+		} else {
+			payload, err = st.Forward(ctx, payload)
+		}
+		if err != nil {
 			c.m.countErr(err)
 			return nil, fmt.Errorf("codec: stage %s forward: %w", st.Name(), err)
 		}
@@ -208,6 +213,48 @@ func (c *codecImpl) decodePayload(ctx context.Context, payload []byte, shape []i
 	return out, nil
 }
 
+// laneSegmenter is implemented by backends whose payload is a
+// concatenation of lanes with distinct statistics (the lossless
+// byte-group family). payloadSegments returns the cumulative end
+// offsets of the lanes, the last equal to payloadLen.
+type laneSegmenter interface {
+	payloadSegments(payloadLen int) []int
+}
+
+// segmentedStage is implemented by stages that can restart their block
+// statistics at given payload offsets. ForwardSegments encodes each
+// [prev, bound) range as an independent block sequence; the output must
+// decode through the stage's ordinary Inverse (entropy blocks are
+// self-delimiting, so concatenated per-lane streams need no extra
+// framing on the wire).
+type segmentedStage interface {
+	ForwardSegments(ctx context.Context, payload []byte, bounds []int) ([]byte, error)
+}
+
+// segmentsFor reports whether stage st should see a per-lane segmented
+// payload: only the first stage in the chain (later stages see
+// entropy-coded bytes whose lane structure is gone), only when both the
+// backend and the stage opt in, and only when there is more than one
+// lane.
+func segmentsFor(c *codecImpl, st Stage, idx, payloadLen int) (segmentedStage, []int) {
+	if idx != 0 {
+		return nil, nil
+	}
+	seg, ok := st.(segmentedStage)
+	if !ok {
+		return nil, nil
+	}
+	ls, ok := c.b.(laneSegmenter)
+	if !ok {
+		return nil, nil
+	}
+	lanes := ls.payloadSegments(payloadLen)
+	if len(lanes) < 2 {
+		return nil, nil
+	}
+	return seg, lanes
+}
+
 // ---------------------------------------------------------------------
 // The fse stage: the shared entropy backend as a payload transform.
 
@@ -223,14 +270,72 @@ func init() {
 func (fseStage) Name() string { return "fse" }
 func (fseStage) Spec() string { return "fse" }
 
+// stageDst sizes a destination buffer for an entropy-coded payload:
+// the coder never expands a block by more than its framing overhead
+// (≤ 4 bytes per 64 KiB block plus slack for the last short block), so
+// one up-front allocation replaces the append-growth ladder.
+func stageDst(payloadLen int) []byte {
+	return make([]byte, 0, payloadLen+4*(payloadLen>>16)+16)
+}
+
 func (fseStage) Forward(ctx context.Context, payload []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return entropy.Compress(nil, payload), nil
+	return entropy.Compress(stageDst(len(payload)), payload), nil
 }
 
 func (fseStage) Inverse(ctx context.Context, payload []byte, sizeHint int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return entropy.DecompressCap(nil, payload, sizeHint)
+}
+
+// ---------------------------------------------------------------------
+// The huf stage: the multi-symbol entropy fast path as a payload
+// transform.
+
+// hufStage appends the entropy coder through its huf-selecting encoder:
+// per 64 KiB block the cheaper of raw/rle/fse/huf is chosen, so "+huf"
+// is never worse than "+fse" by more than the per-block mode slack and
+// decodes through the same entropy stream reader ("+huf" and "+fse"
+// frames are mutually decodable at the block layer; the spec suffix
+// records which encoder produced the stream). Stateless, like fseStage.
+type hufStage struct{}
+
+func init() {
+	registerStage("huf", func() (Stage, error) { return hufStage{}, nil })
+}
+
+func (hufStage) Name() string { return "huf" }
+func (hufStage) Spec() string { return "huf" }
+
+func (hufStage) Forward(ctx context.Context, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return entropy.CompressHuf(stageDst(len(payload)), payload), nil
+}
+
+// ForwardSegments restarts block statistics at each lane boundary, so a
+// byte-group payload gets per-lane tables instead of blocks straddling
+// lanes with mixed distributions. The output is a plain entropy stream:
+// Inverse decodes it with no knowledge of the lane cuts.
+func (hufStage) ForwardSegments(ctx context.Context, payload []byte, bounds []int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := stageDst(len(payload) + 4*len(bounds))
+	prev := 0
+	for _, b := range bounds {
+		out = entropy.CompressHuf(out, payload[prev:b])
+		prev = b
+	}
+	return out, nil
+}
+
+func (hufStage) Inverse(ctx context.Context, payload []byte, sizeHint int) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -371,6 +371,21 @@ type StreamReader struct {
 	// sawFooter flips once an index footer has been verified and
 	// skipped; only the end marker may follow it.
 	sawFooter bool
+	// rs is the underlying source when it supports seeking; with a
+	// preloaded index (seekIdx) Skip can then seek past a payload in
+	// O(1) instead of draining its chunks.
+	rs io.ReadSeeker
+	// seekIdx is the index footer's entry table, loaded by a tail probe
+	// at construction (nil when the source is unseekable, the stream
+	// carries no footer, or the footer fails validation — all of which
+	// leave the reader in plain sequential mode).
+	seekIdx []indexEntry
+	// footIdxOff is the stream-relative byte offset of the footer's 'I'
+	// marker: the skip target after the last indexed record.
+	footIdxOff int64
+	// markOff is the stream-relative offset of the pending record's
+	// marker byte, cross-checked against seekIdx before any seek-skip.
+	markOff int64
 	// codecs caches resolved codecs by spec: multi-record streams
 	// typically repeat one spec, and some backends (dctc) compile
 	// per-resolution state that must not be rebuilt per record.
@@ -394,6 +409,7 @@ type StreamReader struct {
 	nCRCFail      atomic.Int64
 	nRAHits       atomic.Int64
 	nRAMiss       atomic.Int64
+	nFooterSkips  atomic.Int64
 }
 
 // StreamReaderStats is a point-in-time snapshot of one reader's
@@ -401,7 +417,10 @@ type StreamReader struct {
 // track the background prefetcher, so they can lead the records the
 // consumer has taken from Next; ReadAheadHits counts Next calls served
 // without blocking on the prefetcher, ReadAheadMisses the calls that
-// had to wait (both zero without SetReadAhead).
+// had to wait (both zero without SetReadAhead). FooterSkips counts the
+// Skips served by an index-footer seek: those records' payload chunks
+// are never read, so they appear in none of Chunks, PayloadBytes, or
+// CRCFailures.
 type StreamReaderStats struct {
 	Records         int64
 	Chunks          int64
@@ -410,6 +429,7 @@ type StreamReaderStats struct {
 	CRCFailures     int64
 	ReadAheadHits   int64
 	ReadAheadMisses int64
+	FooterSkips     int64
 }
 
 // Stats returns the reader's current statistics. Safe to call
@@ -423,13 +443,26 @@ func (sr *StreamReader) Stats() StreamReaderStats {
 		CRCFailures:     sr.nCRCFail.Load(),
 		ReadAheadHits:   sr.nRAHits.Load(),
 		ReadAheadMisses: sr.nRAMiss.Load(),
+		FooterSkips:     sr.nFooterSkips.Load(),
 	}
 }
 
 // NewStreamReader validates the stream header and returns a reader
 // positioned before the first record.
+//
+// When r also implements io.Seeker, the constructor probes the stream
+// tail for the optional index footer before the first sequential read:
+// with the footer loaded, Skip seeks directly past a record's payload
+// instead of draining its chunks. The probe is best-effort — a missing
+// or malformed footer just leaves the reader in plain sequential mode.
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
-	sr := &StreamReader{br: bufio.NewReaderSize(r, 64<<10), codecs: make(map[string]Codec)}
+	sr := &StreamReader{codecs: make(map[string]Codec)}
+	if rs, ok := r.(io.ReadSeeker); ok {
+		if err := sr.probeIndex(rs); err != nil {
+			return nil, err
+		}
+	}
+	sr.br = bufio.NewReaderSize(r, 64<<10)
 	var fixed [8]byte
 	if err := sr.readFull(fixed[:]); err != nil {
 		return nil, fmt.Errorf("codec: reading stream header: %w", err)
@@ -525,6 +558,7 @@ func (sr *StreamReader) nextRecord() (Header, error) {
 		}
 		break
 	}
+	sr.markOff = sr.off - 1
 	sr.rec++
 
 	// Accumulate the variable-length header exactly as written so the
@@ -668,13 +702,18 @@ func (sr *StreamReader) decodeRecord(ctx context.Context) (*tensor.Tensor, error
 	return out, nil
 }
 
-// skipRecord drains the pending record's payload, still verifying every
-// chunk CRC, without decoding it.
+// skipRecord discards the pending record's payload. With an index
+// footer preloaded from a seekable source it seeks straight to the
+// next record boundary in O(1); otherwise it drains the chunks,
+// verifying every chunk CRC along the way.
 func (sr *StreamReader) skipRecord() error {
 	if sr.err != nil {
 		return sr.err
 	}
 	if sr.cur == nil {
+		return nil
+	}
+	if sr.trySeekSkip() {
 		return nil
 	}
 	buf := getByteScratch(32 << 10)
@@ -690,6 +729,52 @@ func (sr *StreamReader) skipRecord() error {
 	}
 	sr.cur = nil
 	return nil
+}
+
+// trySeekSkip serves a Skip from the preloaded index: the next record's
+// offset (or the footer's, after the last record) is in the table, so
+// the pending payload's chunks need not be read at all. Returns false —
+// leaving the payload for the sequential CRC-verifying drain — when no
+// index is loaded, the record is beyond the table, or the table
+// disagrees with the record the reader actually parsed. The skipped
+// chunk CRCs go unverified by construction; a lying footer cannot
+// produce wrong output, because whatever the seek lands on must still
+// parse as a record marker with a CRC-verified header.
+func (sr *StreamReader) trySeekSkip() bool {
+	i := sr.rec - 1 // entries are in record order; rec is 1-based
+	if sr.seekIdx == nil || i < 0 || i >= len(sr.seekIdx) {
+		return false
+	}
+	if sr.seekIdx[i].off != sr.markOff {
+		return false
+	}
+	next := sr.footIdxOff
+	if i+1 < len(sr.seekIdx) {
+		next = sr.seekIdx[i+1].off
+	}
+	skip := next - sr.off
+	// The gap must at least hold the undelivered payload plus one chunk
+	// header per pending chunk; anything less means the table and the
+	// stream disagree.
+	if skip < int64(sr.cur.len()) {
+		return false
+	}
+	buffered := int64(sr.br.Buffered())
+	if skip <= buffered {
+		sr.br.Discard(int(skip))
+	} else {
+		// The source sits buffered bytes ahead of the reader's logical
+		// position; seek the difference, then drop the stale buffer.
+		if _, err := sr.rs.Seek(skip-buffered, io.SeekCurrent); err != nil {
+			return false // source untouched on failure: drain instead
+		}
+		sr.br.Reset(sr.rs)
+	}
+	sr.off = next
+	sr.cur = nil
+	sr.nFooterSkips.Add(1)
+	streamM.iFooterSkips.Inc()
+	return true
 }
 
 // noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a record (or

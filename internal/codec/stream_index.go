@@ -183,6 +183,76 @@ func (sr *StreamReader) skipIndexFooter() error {
 	return nil
 }
 
+// probeIndex loads the index footer from a seekable source before any
+// sequential read, enabling the O(1) seek path in Skip. The stream may
+// start anywhere in the source (the current position is the stream's
+// byte 0); entry offsets stay stream-relative throughout. Every probe
+// failure — short source, no trailing magic, bad framing or CRC,
+// invalid entries — silently leaves seekIdx nil: the sequential walk
+// still verifies the footer inline when it reaches the 'I' record, so
+// nothing is lost but the fast skips. Only a failure to restore the
+// source position is fatal (the reader would otherwise consume from
+// the wrong offset).
+func (sr *StreamReader) probeIndex(rs io.ReadSeeker) error {
+	base, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil // claims io.Seeker but cannot seek: stay sequential
+	}
+	sr.rs = rs
+	end, err := rs.Seek(0, io.SeekEnd)
+	probe := func() {
+		if err != nil || end-base < 8+minIndexFooter+1 {
+			return
+		}
+		// Indexed tail: CRC | size S | magic | 'E'; the magic is the
+		// discriminator (see loadFooter, which this mirrors for the
+		// sequential reader).
+		var tail [13]byte
+		if _, err := rs.Seek(end-13, io.SeekStart); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(rs, tail[:]); err != nil {
+			return
+		}
+		if tail[12] != recEnd || binary.LittleEndian.Uint32(tail[8:12]) != indexMagic {
+			return
+		}
+		s := int64(binary.LittleEndian.Uint32(tail[4:8]))
+		if s < minIndexFooter || s-indexFooterOverhead > maxIndexBody {
+			return
+		}
+		footOff := end - 1 - s
+		if footOff < base+8 {
+			return
+		}
+		foot := make([]byte, s)
+		if _, err := rs.Seek(footOff, io.SeekStart); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(rs, foot); err != nil {
+			return
+		}
+		n := int64(binary.LittleEndian.Uint32(foot[1:5]))
+		if foot[0] != recIndex || n != s-indexFooterOverhead {
+			return
+		}
+		if crc32.ChecksumIEEE(foot[:5+n]) != binary.LittleEndian.Uint32(foot[5+n:]) {
+			return
+		}
+		entries, err := parseIndexBody(foot[5:5+n], footOff-base)
+		if err != nil {
+			return
+		}
+		sr.seekIdx = entries
+		sr.footIdxOff = footOff - base
+	}
+	probe()
+	if _, err := rs.Seek(base, io.SeekStart); err != nil {
+		return fmt.Errorf("codec: restoring stream position after index probe: %w", err)
+	}
+	return nil
+}
+
 // checkStreamHeader validates the fixed 8-byte ACCF v2 stream header.
 func checkStreamHeader(fixed []byte) error {
 	if m := binary.LittleEndian.Uint32(fixed[0:]); m != containerMagic {

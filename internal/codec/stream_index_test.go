@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -580,6 +582,134 @@ func TestSkipUnderReadAheadStats(t *testing.T) {
 	after := sr.Stats()
 	if after.ReadAheadHits+after.ReadAheadMisses != stats.ReadAheadHits+stats.ReadAheadMisses {
 		t.Fatal("post-EOF Next/Skip moved the hit/miss counters")
+	}
+}
+
+// forgeEntryOffset shifts index entry idx's offset field by delta and
+// recomputes the footer CRC: a structurally valid footer that lies
+// about where a record starts.
+func forgeEntryOffset(tb testing.TB, data []byte, idx int, delta uint64) []byte {
+	tb.Helper()
+	mut := append([]byte(nil), data...)
+	s := binary.LittleEndian.Uint32(mut[len(mut)-9:])
+	footOff := len(mut) - 1 - int(s)
+	n := int(binary.LittleEndian.Uint32(mut[footOff+1:]))
+	p := footOff + 5 + 4 // past marker, body length, entry count
+	for i := 0; i < idx; i++ {
+		specLen := int(binary.LittleEndian.Uint16(mut[p+17:]))
+		rank := int(mut[p+19+specLen])
+		p += 19 + specLen + 1 + 4*rank
+	}
+	off := binary.LittleEndian.Uint64(mut[p:])
+	binary.LittleEndian.PutUint64(mut[p:], off+delta)
+	binary.LittleEndian.PutUint32(mut[footOff+5+n:], crc32.ChecksumIEEE(mut[footOff:footOff+5+n]))
+	return mut
+}
+
+// TestFooterAwareSkip: with a seekable source and an index footer, Skip
+// seeks past payloads in O(1) — the skipped chunks are never read, so
+// they stay out of the chunk/byte stats — while unseekable sources keep
+// the CRC-verifying drain. A forged footer may cost a fast skip or kill
+// the stream with a position-bearing error, but never yields wrong
+// output.
+func TestFooterAwareSkip(t *testing.T) {
+	ctx := context.Background()
+	data, want := writeIndexedStream(t, false)
+
+	type result struct {
+		outs  map[int]*tensor.Tensor
+		stats StreamReaderStats
+	}
+	run := func(t *testing.T, r io.Reader) result {
+		t.Helper()
+		sr, err := NewStreamReader(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := result{outs: map[int]*tensor.Tensor{}}
+		for i := 0; ; i++ {
+			_, err := sr.Next()
+			if err == io.EOF {
+				if i != len(want) {
+					t.Fatalf("reader saw %d records, want %d", i, len(want))
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				if err := sr.Skip(); err != nil {
+					t.Fatalf("Skip(%d): %v", i, err)
+				}
+				continue
+			}
+			out, err := sr.Decode(ctx)
+			if err != nil {
+				t.Fatalf("Decode(%d): %v", i, err)
+			}
+			res.outs[i] = out
+		}
+		res.stats = sr.Stats()
+		return res
+	}
+
+	seek := run(t, bytes.NewReader(data))                       // seekable: tail probe loads the footer
+	drain := run(t, struct{ io.Reader }{bytes.NewReader(data)}) // unseekable: sequential drain
+
+	skips := int64((len(want) + 1) / 2)
+	if seek.stats.FooterSkips != skips {
+		t.Errorf("seekable reader FooterSkips = %d, want %d", seek.stats.FooterSkips, skips)
+	}
+	if drain.stats.FooterSkips != 0 {
+		t.Errorf("unseekable reader FooterSkips = %d, want 0", drain.stats.FooterSkips)
+	}
+	// Stats exactness: the drain reads (and counts) every chunk of every
+	// record; the seek path must count only the decoded records' chunks.
+	if drain.stats.Chunks < int64(len(want)) {
+		t.Fatalf("drain path saw %d chunks across %d records", drain.stats.Chunks, len(want))
+	}
+	if seek.stats.Chunks >= drain.stats.Chunks {
+		t.Errorf("seek path counted %d chunks, drain %d: skipped chunks leaked into the stats", seek.stats.Chunks, drain.stats.Chunks)
+	}
+	if seek.stats.PayloadBytes >= drain.stats.PayloadBytes {
+		t.Errorf("seek path counted %d payload bytes, drain %d", seek.stats.PayloadBytes, drain.stats.PayloadBytes)
+	}
+	if seek.stats.Records != int64(len(want)) || drain.stats.Records != int64(len(want)) {
+		t.Errorf("Records = %d (seek) / %d (drain), want %d", seek.stats.Records, drain.stats.Records, len(want))
+	}
+	// Decodes after a seek-skip are unaffected.
+	for i, out := range seek.outs {
+		requireSameTensor(t, fmt.Sprintf("record %d after seek-skip", i), out, want[i])
+		requireSameTensor(t, fmt.Sprintf("record %d drain/seek agreement", i), out, drain.outs[i])
+	}
+
+	// Forged footer, case 1: the entry for the record being skipped lies
+	// about its own offset. The marker-offset cross-check rejects the
+	// seek and the CRC-verifying drain takes over; everything decodes.
+	f0 := run(t, bytes.NewReader(forgeEntryOffset(t, data, 0, 3)))
+	if f0.stats.FooterSkips != skips-1 {
+		t.Errorf("forged-entry0 FooterSkips = %d, want %d (record 0 must fall back to the drain)", f0.stats.FooterSkips, skips-1)
+	}
+	for i, out := range f0.outs {
+		requireSameTensor(t, fmt.Sprintf("record %d under forged entry0", i), out, want[i])
+	}
+
+	// Forged footer, case 2: the *next* record's entry lies, so the seek
+	// lands inside record 1's header. The next read must die on a
+	// position-bearing framing error — wrong output is not an option.
+	sr, err := NewStreamReader(bytes.NewReader(forgeEntryOffset(t, data, 1, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Skip(); err != nil { // the seek itself cannot tell
+		t.Fatalf("Skip toward a forged target: %v", err)
+	}
+	if _, err := sr.Next(); err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("Next after a forged-offset seek: err %v, want a position-bearing error", err)
 	}
 }
 

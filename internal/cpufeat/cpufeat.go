@@ -41,6 +41,9 @@ type Features struct {
 	AVX   bool
 	AVX2  bool
 	FMA   bool
+	// BMI2 is a GPR-only extension (SHLX/SHRX/PDEP/...) — no OS state
+	// to check. The entropy huf 4-stream decode kernel dispatches on it.
+	BMI2 bool
 
 	// arm64. NEON (AdvSIMD) is architecturally mandatory on AArch64,
 	// so detection is trivially true there; the flag still exists so
@@ -108,6 +111,7 @@ func Summary() string {
 	add(active.AVX, "avx")
 	add(active.AVX2, "avx2")
 	add(active.FMA, "fma")
+	add(active.BMI2, "bmi2")
 	add(active.NEON, "neon")
 	if len(tags) == 0 {
 		return fmt.Sprintf("%s: portable", runtime.GOARCH)

@@ -20,7 +20,10 @@ const (
 )
 
 // CPUID.7.0:EBX feature bits.
-const cpuidAVX2 = 1 << 5
+const (
+	cpuidAVX2 = 1 << 5
+	cpuidBMI2 = 1 << 8
+)
 
 // XCR0 state-component bits: SSE (XMM) and AVX (YMM) state.
 const xcr0AVXState = 0x6
@@ -39,6 +42,14 @@ func detect() Features {
 	f.SSE41 = ecx1&cpuidSSE41 != 0
 	f.SSE42 = ecx1&cpuidSSE42 != 0
 
+	var ebx7 uint32
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ = cpuid(7, 0)
+	}
+	// BMI2 operates on general-purpose registers only, so unlike AVX it
+	// needs no OS save-state check.
+	f.BMI2 = ebx7&cpuidBMI2 != 0
+
 	osAVX := false
 	if ecx1&cpuidOSXSAVE != 0 {
 		lo, _ := xgetbv()
@@ -47,10 +58,7 @@ func detect() Features {
 	if osAVX {
 		f.AVX = ecx1&cpuidAVX != 0
 		f.FMA = ecx1&cpuidFMA != 0
-		if maxLeaf >= 7 {
-			_, ebx7, _, _ := cpuid(7, 0)
-			f.AVX2 = f.AVX && ebx7&cpuidAVX2 != 0
-		}
+		f.AVX2 = f.AVX && ebx7&cpuidAVX2 != 0
 	}
 	return f
 }

@@ -20,5 +20,6 @@ func publishFeatureGauges() {
 	set("avx", active.AVX)
 	set("avx2", active.AVX2)
 	set("fma", active.FMA)
+	set("bmi2", active.BMI2)
 	set("neon", active.NEON)
 }

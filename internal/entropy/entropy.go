@@ -59,6 +59,7 @@ const (
 	modeRaw = 0
 	modeRLE = 1
 	modeFSE = 2
+	modeHUF = 3
 
 	// maxBlock bounds the raw bytes one block encodes; encode scratch is
 	// proportional to it (2 bytes per symbol), decode scratch constant.
@@ -100,6 +101,19 @@ type scratch struct {
 
 	// spread order scratch for table construction.
 	tsym []uint8
+
+	// huf scratch: canonical code-length construction (two-queue Huffman
+	// over frequency-sorted keys), the per-symbol encode table, and the
+	// single- and multi-symbol decode LUTs (see huf.go).
+	hkeys   [256]uint32 // hist<<8 | sym, sorted ascending for the build
+	hfreq   [512]int32  // two-queue node frequencies (leaves + internals)
+	hparent [512]int16
+	hdepth  [512]uint8
+	hcnt    [hufMaxLen + 2]int32 // symbols per code length
+	hlen    [256]uint8           // code length per symbol (0 = absent)
+	henc    [256]uint16          // canonical code<<4 | length
+	hlut1   [hufLutSize]uint16   // symbol<<8 | length per 11-bit probe
+	hlut    [hufLutSize]uint32   // multi-symbol entries (see hufBuildLUT)
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -155,9 +169,7 @@ func (s *scratch) histogram(block []byte) int {
 	for i := range s.hist {
 		s.hist[i] = 0
 	}
-	for _, b := range block {
-		s.hist[b]++
-	}
+	vecops.Histogram256(&s.hist, block)
 	nsym := 0
 	for v := 0; v < 256; v++ {
 		if s.hist[v] > 0 {
@@ -291,14 +303,23 @@ func appendBlockHeader(dst []byte, mode byte, rawLen int) []byte {
 func compressBlock(dst, block []byte, st *scratch) []byte {
 	nsym := st.histogram(block)
 	if nsym == 1 {
+		backendRLE.Inc()
 		dst = appendBlockHeader(dst, modeRLE, len(block))
 		return append(dst, block[0])
 	}
 	if len(block) < minCompressBlock {
+		backendRaw.Inc()
 		dst = appendBlockHeader(dst, modeRaw, len(block))
 		return append(dst, block...)
 	}
+	return appendFSEBlock(dst, block, st, nsym)
+}
 
+// appendFSEBlock runs the fse encoder over one block (histogram already
+// taken), falling back to a raw block when the coded form would not
+// shrink it. Shared by the fse-only Compress path and the selecting
+// CompressHuf path.
+func appendFSEBlock(dst, block []byte, st *scratch, nsym int) []byte {
 	tableLog := tableLogFor(len(block), nsym)
 	size := 1 << tableLog
 	st.sized(size, len(block))
@@ -324,6 +345,10 @@ func compressBlock(dst, block []byte, st *scratch) []byte {
 	}
 
 	bw := bitstream.GetWriter()
+	// A body larger than the block falls back to raw below, so the
+	// block length bounds the useful stream size; one Grow spares a
+	// cold pool Writer the growth ladder.
+	bw.Grow(len(block) + 16)
 	bw.WriteBits(uint64(v0)-uint64(size), uint(tableLog))
 	bw.WriteBits(uint64(v1)-uint64(size), uint(tableLog))
 	for i := len(st.chunks) - 1; i >= 0; i-- {
@@ -336,10 +361,12 @@ func compressBlock(dst, block []byte, st *scratch) []byte {
 	headLen := 1 + uvarintLen(uint64(len(block))) + uvarintLen(uint64(bodyLen))
 	if headLen+bodyLen >= 1+uvarintLen(uint64(len(block)))+len(block) {
 		bitstream.PutWriter(bw)
+		backendRaw.Inc()
 		dst = appendBlockHeader(dst, modeRaw, len(block))
 		return append(dst, block...)
 	}
 
+	backendFSE.Inc()
 	dst = appendBlockHeader(dst, modeFSE, len(block))
 	dst = binary.AppendUvarint(dst, uint64(bodyLen))
 	dst = append(dst, byte(tableLog), byte(nsym-1))
@@ -415,6 +442,10 @@ func decompressBlock(dst, src []byte, st *scratch, limit int) ([]byte, []byte, i
 	if rawLen > limit {
 		return nil, nil, 0, fmt.Errorf("entropy: block claims %d bytes, exceeding the caller's %d-byte output bound", rawLen, limit)
 	}
+	// The block's exact output size is known up front, so one Grow here
+	// replaces the per-append growth ladder in every body decoder (the
+	// claimed rawLen is already capped by the caller's bound above).
+	dst = slices.Grow(dst, rawLen)
 	switch mode {
 	case modeRaw:
 		if len(src) < rawLen {
@@ -438,6 +469,18 @@ func decompressBlock(dst, src []byte, st *scratch, limit int) ([]byte, []byte, i
 		src = src[used:]
 		body := src[:bodyLen64]
 		dst, err := decodeFSEBody(dst, body, rawLen, st)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return dst, src[bodyLen64:], rawLen, nil
+	case modeHUF:
+		bodyLen64, used := binary.Uvarint(src)
+		if used <= 0 || bodyLen64 > uint64(len(src)-used) {
+			return nil, nil, 0, fmt.Errorf("entropy: bad huf body length")
+		}
+		src = src[used:]
+		body := src[:bodyLen64]
+		dst, err := decodeHufBody(dst, body, rawLen, st)
 		if err != nil {
 			return nil, nil, 0, err
 		}

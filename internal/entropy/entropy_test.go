@@ -266,6 +266,15 @@ func FuzzDecode(f *testing.F) {
 		}
 	}
 	f.Add([]byte{modeFSE, 0x20, 8, 5, 1, 0, 16, 0, 1, 16, 0, 0xAA, 0xBB})
+	// Huf-mode seeds: the wide-alphabet lanes select huf blocks, so the
+	// fuzzer starts inside the huf table and 4-stream parsers too.
+	for _, name := range []string{"mantissa-lane", "exponent-lane"} {
+		src := hufCorpus()[name]
+		if len(src) > 8192 {
+			src = src[:8192]
+		}
+		f.Add(CompressHuf(nil, src))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fast, fastErr := Decompress(nil, data)
 		if len(data) > 1<<16 {

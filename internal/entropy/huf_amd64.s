@@ -1,0 +1,130 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// 4-stream interleaved huf decode kernel. Register plan:
+//
+//	DI          *huf4State (all cursors live in the struct; only the
+//	            bit buffers and counters are register-resident)
+//	SI          decode LUT base (st.hlut)
+//	R8 –R11     bit buffers, streams 0–3 (MSB-aligned)
+//	R12–R15     bit counts,  streams 0–3
+//	AX,BX,CX,DX scratch
+//
+// Each loop iteration decodes one LUT probe (1–2 symbols) from every
+// stream; the four dependency chains are independent, which is where
+// the speedup over the one-stream portable loop comes from. The loop
+// re-checks all eight cursor bounds per iteration, exactly matching the
+// portable fast loop's `i+2 <= n && pos+8 <= len(stream)` condition, so
+// the kernel and the portable path stop at identical states.
+//
+// BMI2-only: SHLXQ/SHRXQ take the shift count from any register with no
+// flag writes, keeping the four chains free of CL contention.
+
+// REFILL tops up one stream's bit buffer to >56 valid bits: big-endian
+// load at the byte cursor, shifted down by the current count and OR'd
+// in (re-reading already-buffered bits is idempotent — identical bits
+// land on identical positions), then the cursor advances by the number
+// of whole bytes that fit.
+#define REFILL(BUF, CNT, SRCOFF, skip) \
+	CMPQ   CNT, $56          \
+	JA     skip              \
+	MOVQ   SRCOFF(DI), AX    \
+	MOVQ   (AX), BX          \
+	BSWAPQ BX                \
+	SHRXQ  CNT, BX, BX       \
+	ORQ    BX, BUF           \
+	MOVQ   $64, BX           \
+	SUBQ   CNT, BX           \
+	SHRQ   $3, BX            \
+	ADDQ   BX, AX            \
+	MOVQ   AX, SRCOFF(DI)    \
+	SHLQ   $3, BX            \
+	ADDQ   BX, CNT           \
+skip:
+
+// PROBE decodes one LUT entry for one stream: index by the top 11
+// buffer bits, store the entry's symbol pair (MOVW writes sym1 then
+// sym2 in output order; a single-symbol entry carries 0 in the pair
+// byte and advances by 1, so the 0 is overwritten next iteration),
+// advance the output cursor by 1+pairFlag, and consume totalBits.
+#define PROBE(BUF, CNT, DSTOFF) \
+	MOVQ  BUF, AX            \
+	SHRQ  $53, AX            \
+	MOVL  (SI)(AX*4), AX     \
+	MOVQ  DSTOFF(DI), BX     \
+	MOVL  AX, DX             \
+	SHRL  $16, DX            \
+	MOVW  DX, (BX)           \
+	MOVL  AX, DX             \
+	SHRL  $15, DX            \
+	ANDL  $1, DX             \
+	LEAQ  1(BX)(DX*1), BX    \
+	MOVQ  BX, DSTOFF(DI)     \
+	MOVL  AX, CX             \
+	SHRL  $8, CX             \
+	ANDL  $0x1F, CX          \
+	SHLXQ CX, BUF, BUF       \
+	SUBQ  CX, CNT
+
+// func hufDecode4BMI2(st *huf4State)
+TEXT ·hufDecode4BMI2(SB), NOSPLIT, $0-8
+	MOVQ st+0(FP), DI
+	MOVQ 0(DI), SI      // LUT base
+	MOVQ 136(DI), R8    // bit buffers
+	MOVQ 144(DI), R9
+	MOVQ 152(DI), R10
+	MOVQ 160(DI), R11
+	MOVQ 168(DI), R12   // bit counts
+	MOVQ 176(DI), R13
+	MOVQ 184(DI), R14
+	MOVQ 192(DI), R15
+
+loop:
+	// Every stream needs 8 readable source bytes and 2 writable output
+	// slots for this iteration (srcEnd = base+len-8, dstEnd = base+len-2).
+	MOVQ 8(DI), AX
+	CMPQ AX, 40(DI)
+	JA   done
+	MOVQ 16(DI), AX
+	CMPQ AX, 48(DI)
+	JA   done
+	MOVQ 24(DI), AX
+	CMPQ AX, 56(DI)
+	JA   done
+	MOVQ 32(DI), AX
+	CMPQ AX, 64(DI)
+	JA   done
+	MOVQ 72(DI), AX
+	CMPQ AX, 104(DI)
+	JA   done
+	MOVQ 80(DI), AX
+	CMPQ AX, 112(DI)
+	JA   done
+	MOVQ 88(DI), AX
+	CMPQ AX, 120(DI)
+	JA   done
+	MOVQ 96(DI), AX
+	CMPQ AX, 128(DI)
+	JA   done
+
+	REFILL(R8, R12, 8, noref0)
+	PROBE(R8, R12, 72)
+	REFILL(R9, R13, 16, noref1)
+	PROBE(R9, R13, 80)
+	REFILL(R10, R14, 24, noref2)
+	PROBE(R10, R14, 88)
+	REFILL(R11, R15, 32, noref3)
+	PROBE(R11, R15, 96)
+	JMP  loop
+
+done:
+	MOVQ R8, 136(DI)
+	MOVQ R9, 144(DI)
+	MOVQ R10, 152(DI)
+	MOVQ R11, 160(DI)
+	MOVQ R12, 168(DI)
+	MOVQ R13, 176(DI)
+	MOVQ R14, 184(DI)
+	MOVQ R15, 192(DI)
+	RET

@@ -1,0 +1,21 @@
+package entropy
+
+import "repro/internal/telemetry"
+
+// Backend-selection counters: one tick per emitted block, keyed by the
+// representation the encoder actually chose (CompressHuf can emit any
+// of the four; Compress emits raw/rle/fse).
+var (
+	backendRaw = telemetry.NewCounter("entropy.backend.raw")
+	backendRLE = telemetry.NewCounter("entropy.backend.rle")
+	backendFSE = telemetry.NewCounter("entropy.backend.fse")
+	backendHuf = telemetry.NewCounter("entropy.backend.huf")
+)
+
+// Dispatch counters for the 4-stream huf decode kernel, mirroring the
+// simd.vecops.* pair: one tick per decoded huf block, keyed by whether
+// the AVX2 bulk kernel ran or the portable loop did all the work.
+var (
+	hufVectorCalls   = telemetry.NewCounter("simd.entropy.vector_calls")
+	hufPortableCalls = telemetry.NewCounter("simd.entropy.portable_calls")
+)

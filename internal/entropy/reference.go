@@ -249,6 +249,17 @@ func refDecompressBlock(dst, src []byte) ([]byte, []byte, error) {
 			return nil, nil, err
 		}
 		return dst, src[bodyLen:], nil
+	case modeHUF:
+		bodyLen, used := binary.Uvarint(src)
+		if used <= 0 || bodyLen > uint64(len(src)-used) {
+			return nil, nil, fmt.Errorf("entropy: oracle bad huf body length")
+		}
+		src = src[used:]
+		dst, err := refDecodeHufBody(dst, src[:bodyLen], rawLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		return dst, src[bodyLen:], nil
 	default:
 		return nil, nil, fmt.Errorf("entropy: oracle unknown block mode %d", mode)
 	}

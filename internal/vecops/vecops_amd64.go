@@ -10,6 +10,12 @@ func fillUint16AVX2(dst *uint16, n int, v uint16)
 //go:noescape
 func fillBytesAVX2(dst *byte, n int, v byte)
 
+// histMergeAVX2 adds the four 256-entry int32 sub-tables at t into h:
+// h[v] += t[v] + t[256+v] + t[512+v] + t[768+v].
+//
+//go:noescape
+func histMergeAVX2(h *int32, t *int32)
+
 // simdOn guards direct calls to the dispatched kernels.
 var simdOn = cpufeat.Have().AVX2
 

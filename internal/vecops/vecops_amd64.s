@@ -73,3 +73,26 @@ fill8tail:
 fill8done:
 	VZEROUPPER
 	RET
+
+// func histMergeAVX2(h *int32, t *int32)
+//
+// h[v] += t[v] + t[256+v] + t[512+v] + t[768+v] for v in [0,256):
+// 32 column-add iterations of 8 lanes each, all loads unaligned.
+TEXT ·histMergeAVX2(SB), NOSPLIT, $0-16
+	MOVQ h+0(FP), DI
+	MOVQ t+8(FP), SI
+	MOVQ $32, CX
+
+histmerge:
+	VMOVDQU (SI), Y0
+	VPADDD  1024(SI), Y0, Y0
+	VPADDD  2048(SI), Y0, Y0
+	VPADDD  3072(SI), Y0, Y0
+	VPADDD  (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     histmerge
+	VZEROUPPER
+	RET

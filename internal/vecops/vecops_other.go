@@ -17,3 +17,5 @@ func SetSIMD(on bool) bool { return false }
 func fillUint16AVX2(dst *uint16, n int, v uint16) { panic("vecops: no simd kernels") }
 
 func fillBytesAVX2(dst *byte, n int, v byte) { panic("vecops: no simd kernels") }
+
+func histMergeAVX2(h *int32, t *int32) { panic("vecops: no simd kernels") }

@@ -86,3 +86,50 @@ func TestFillAllocs(t *testing.T) {
 	}
 	SetSIMD(true)
 }
+
+// TestHistogramEquivalence checks Histogram256 — including the
+// 4-sub-table split and the AVX2 merge — against a plain counting loop,
+// across lengths straddling the threshold and the 4-byte unroll.
+func TestHistogramEquivalence(t *testing.T) {
+	defer SetSIMD(true)
+	r := rand.New(rand.NewSource(29))
+	for _, n := range []int{0, 1, 3, 1023, 1024, 1025, 4096, 65536, 65539} {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(r.Uint32() >> 4 & 0x3F * 4) // clustered alphabet
+		}
+		var want [256]int32
+		for _, b := range src {
+			want[b]++
+		}
+		for _, mode := range []bool{false, true} {
+			if mode && !SIMDAvailable() {
+				continue
+			}
+			SetSIMD(mode)
+			// Seed with a bias to confirm accumulate (not overwrite)
+			// semantics.
+			var got [256]int32
+			got[7] = 3
+			Histogram256(&got, src)
+			got[7] -= 3
+			if got != want {
+				t.Fatalf("n=%d simd=%v: histogram mismatch", n, mode)
+			}
+		}
+	}
+}
+
+// TestHistogramAllocs verifies the pooled sub-table scratch keeps the
+// steady state allocation-free.
+func TestHistogramAllocs(t *testing.T) {
+	src := make([]byte, 65536)
+	var h [256]int32
+	Histogram256(&h, src) // warm the pool
+	allocs := testing.AllocsPerRun(10, func() {
+		Histogram256(&h, src)
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram256 allocated %v times per run", allocs)
+	}
+}
